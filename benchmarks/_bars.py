@@ -1,0 +1,36 @@
+"""Shared shape assertions for the makespan bar figures (Figs. 6, 8–11).
+
+The five bar figures differ only in the task-size distribution; the claims
+they support are the same family: the PN scheduler produces the lowest (or
+near-lowest) makespan, and the naive round-robin baseline does not win.
+These helpers keep the per-figure benchmark modules small and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.figures import FigureResult
+from repro.schedulers import ALL_SCHEDULER_NAMES
+
+__all__ = ["assert_common_bar_shape", "rank_of"]
+
+
+def rank_of(bars: Dict[str, float], scheduler: str) -> int:
+    """1-based rank of *scheduler* by ascending makespan (1 = best)."""
+    ordered = sorted(bars, key=bars.get)
+    return ordered.index(scheduler) + 1
+
+
+def assert_common_bar_shape(result: FigureResult, *, pn_max_rank: int = 3) -> None:
+    """Shape checks shared by every makespan bar figure.
+
+    * all seven schedulers are present with positive makespans;
+    * PN ranks within the top ``pn_max_rank`` schedulers;
+    * PN is no worse than the uninformed round-robin baseline.
+    """
+    bars = result.bar_values()
+    assert set(bars) == set(ALL_SCHEDULER_NAMES)
+    assert all(v > 0 for v in bars.values())
+    assert rank_of(bars, "PN") <= pn_max_rank, f"PN rank {rank_of(bars, 'PN')}: {bars}"
+    assert bars["PN"] <= bars["RR"] * 1.02, bars

@@ -1,0 +1,49 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one of the paper's figures (or an ablation of a
+design choice) at a scaled-down size and checks the *shape* of the result —
+who wins, how trends move — against the paper's qualitative claims.  Absolute
+numbers are not compared: the paper's testbed (2005-era hardware, C/Java
+implementation, 10,000 tasks on 50 processors) differs from this pure-Python
+simulator by construction.
+
+Scale selection: the ``REPRO_BENCH_SCALE`` environment variable picks one of
+the presets from :mod:`repro.experiments.config` (default ``small``); repeats
+are forced to 1 so each benchmark is a single timed run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import get_scale
+
+
+def _bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "small")
+    scale = get_scale(name)
+    # A benchmark is one timed run; statistical repetition is the job of the
+    # experiment harness (repro.cli), not of pytest-benchmark.
+    return scale.scaled(repeats=1)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale used by every benchmark in this session."""
+    return _bench_scale()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    """Master seed shared by all benchmarks (override with REPRO_BENCH_SEED)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+def pytest_report_header(config):
+    scale = _bench_scale()
+    return (
+        f"repro benchmarks: scale={scale.name} tasks={scale.n_tasks}/{scale.n_tasks_large} "
+        f"processors={scale.n_processors} generations={scale.max_generations}"
+    )

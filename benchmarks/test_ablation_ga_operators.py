@@ -1,0 +1,86 @@
+"""Ablation benches — GA operator choices called out in the paper's design.
+
+The paper motivates roulette-wheel selection and cycle crossover by prior
+work rather than by measurement; these benches quantify how much the choice
+matters on a representative batch problem, and confirm the re-balancing count
+trade-off (Sect. 3.5: quality improves with more re-balances but the run time
+grows, so the paper settles on a single re-balance per generation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import make_benchmark_problem, sweep_ga_parameter
+from repro.ga import GAConfig, GeneticAlgorithm
+
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+def _sweep(parameter, values, scale, seed, benchmark=None, repeats=2):
+    key = f"{parameter}:{values}"
+    return _cache.run_once(
+        key,
+        lambda: sweep_ga_parameter(parameter, list(values), scale=scale, seed=seed, repeats=repeats),
+        benchmark,
+    )
+
+
+class TestSelectionAblation:
+    def test_ablation_selection_operator(self, benchmark, scale, seed):
+        """Roulette (paper) vs tournament vs rank selection."""
+        result = _sweep("selection", ("roulette", "tournament", "rank"), scale, seed, benchmark)
+        makespans = result.makespans()
+        assert set(makespans) == {"roulette", "tournament", "rank"}
+        # no operator should be catastrophically worse than the paper's choice
+        reference = makespans["roulette"]
+        for value, makespan in makespans.items():
+            assert makespan <= reference * 1.5, (value, makespans)
+
+
+class TestCrossoverAblation:
+    def test_ablation_crossover_operator(self, benchmark, scale, seed):
+        """Cycle crossover (paper) vs PMX vs order crossover."""
+        result = _sweep("crossover", ("cycle", "pmx", "order"), scale, seed, benchmark)
+        makespans = result.makespans()
+        assert set(makespans) == {"cycle", "pmx", "order"}
+        reference = makespans["cycle"]
+        for value, makespan in makespans.items():
+            assert makespan <= reference * 1.5, (value, makespans)
+
+
+class TestRebalanceAblation:
+    def test_ablation_rebalance_count(self, benchmark, scale, seed):
+        """0 vs 1 vs 5 re-balances: quality should not degrade as re-balances increase."""
+        result = _sweep("n_rebalances", (0, 1, 5), scale, seed, benchmark)
+        makespans = result.makespans()
+        assert makespans[1] <= makespans[0] * 1.05
+        assert makespans[5] <= makespans[0] * 1.05
+
+    def test_ablation_rebalance_cost_grows(self, scale, seed):
+        result = _sweep("n_rebalances", (0, 1, 5), scale, seed)
+        wall_times = {p.value: p.wall_time.mean for p in result.points}
+        assert wall_times[5] > wall_times[0]
+
+
+class TestInitialisationAblation:
+    def test_ablation_seeded_vs_random_initialisation(self, benchmark, scale, seed):
+        """The list-scheduling seeded population should start (and end) better than random."""
+        def run():
+            problem = make_benchmark_problem(scale, seed=seed)
+            outcomes = {}
+            for seeded in (True, False):
+                config = GAConfig(
+                    population_size=20,
+                    max_generations=scale.convergence_generations,
+                    n_rebalances=1,
+                    seeded_initialisation=seeded,
+                )
+                outcomes[seeded] = GeneticAlgorithm(config, rng=seed).evolve(problem)
+            return outcomes
+
+        outcomes = _cache.run_once("init", run, benchmark)
+        seeded, random_init = outcomes[True], outcomes[False]
+        assert seeded.initial_best_makespan <= random_init.initial_best_makespan
+        assert seeded.best_makespan <= random_init.best_makespan * 1.1

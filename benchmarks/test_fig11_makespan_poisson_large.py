@@ -1,0 +1,37 @@
+"""Paper Fig. 11 — makespan per scheduler, Poisson(mean 100 MFLOPs) task sizes.
+
+Paper claim reproduced here: all of the batch-mode schedulers perform well on
+the Poisson(100) workload, while the immediate-mode schedulers lag behind.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure11
+from repro.schedulers import BATCH_SCHEDULER_NAMES, IMMEDIATE_SCHEDULER_NAMES
+
+from _bars import assert_common_bar_shape
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+@pytest.fixture
+def result(scale, seed):
+    return _cache.get("fig11", lambda: figure11(scale=scale, seed=seed))
+
+
+def test_fig11_makespan_poisson_large(benchmark, scale, seed):
+    outcome = _cache.run_once("fig11", lambda: figure11(scale=scale, seed=seed), benchmark)
+    assert outcome.kind == "bars"
+
+
+class TestShape:
+    def test_common_bar_shape(self, result):
+        assert_common_bar_shape(result, pn_max_rank=4)
+
+    def test_best_batch_scheduler_at_least_matches_best_immediate(self, result):
+        bars = result.bar_values()
+        best_batch = min(bars[name] for name in BATCH_SCHEDULER_NAMES)
+        best_immediate = min(bars[name] for name in IMMEDIATE_SCHEDULER_NAMES)
+        assert best_batch <= best_immediate * 1.05

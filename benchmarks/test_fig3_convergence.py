@@ -1,0 +1,73 @@
+"""Paper Fig. 3 — average reduction in makespan per GA generation.
+
+Paper claims reproduced here:
+
+* the re-balancing heuristic reduces the makespan further than the pure GA
+  (paper: pure GA to ~75 % of the initial value, 1 rebalance to ~70 %,
+  50 rebalances to ~65 %);
+* the largest reductions occur in the early generations, after which the
+  curve levels out.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure3
+from repro.experiments.reporting import figure_report
+
+from _shared import FigureCache
+
+_cache = FigureCache()
+LEVELS = (0, 1, 50)
+
+
+@pytest.fixture
+def result(scale, seed):
+    return _cache.get("fig3", lambda: figure3(scale=scale, seed=seed, rebalance_levels=LEVELS))
+
+
+def test_fig3_convergence(benchmark, scale, seed):
+    """Time the full Fig. 3 experiment (pure GA, 1 rebalance, 50 rebalances)."""
+    outcome = _cache.run_once(
+        "fig3", lambda: figure3(scale=scale, seed=seed, rebalance_levels=LEVELS), benchmark
+    )
+    assert set(outcome.series) == {"pure GA", "1 rebalance", "50 rebalances"}
+
+
+class TestShape:
+    def test_rebalancing_improves_on_pure_ga(self, result):
+        final = {name: series[-1] for name, series in result.series.items()}
+        assert final["1 rebalance"] >= final["pure GA"] - 0.02
+        assert final["50 rebalances"] >= final["pure GA"] - 0.02
+
+    def test_more_rebalances_reduce_at_least_as_much(self, result):
+        final = {name: series[-1] for name, series in result.series.items()}
+        assert final["50 rebalances"] >= final["1 rebalance"] - 0.05
+
+    def test_ga_actually_reduces_makespan(self, result):
+        assert result.series["1 rebalance"][-1] > 0.05
+
+    def test_reduction_front_loaded_with_rebalancing(self, result):
+        """With re-balancing, most of the total reduction happens in the first half.
+
+        The pure GA is excluded: at the scaled-down generation budget it is
+        still in its steep improvement phase (the paper's 1000-generation runs
+        are what level off), so front-loading is only asserted for the
+        re-balanced curves.
+        """
+        for name, series in result.series.items():
+            if name == "pure GA":
+                continue
+            series = np.asarray(series)
+            if series[-1] <= 0:
+                continue
+            halfway = series[len(series) // 2]
+            assert halfway >= 0.5 * series[-1], name
+
+    def test_curves_monotone_non_decreasing(self, result):
+        for series in result.series.values():
+            assert np.all(np.diff(np.asarray(series)) >= -1e-9)
+
+    def test_report_renders(self, result):
+        text = figure_report(result)
+        assert "fig3" in text

@@ -1,0 +1,50 @@
+"""Paper Fig. 4 — scheduler run time vs number of re-balances per generation.
+
+Paper claim reproduced here: the time taken by the GA grows roughly
+*linearly* with the number of re-balances performed per individual per
+generation.  Absolute seconds differ from the paper (different hardware and
+language); the shape is what matters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure4
+
+LEVELS = (0, 1, 2, 5, 10)
+
+
+@pytest.fixture(scope="module")
+def result(scale, seed):
+    return figure4(scale=scale, seed=seed, rebalance_levels=LEVELS)
+
+
+def test_fig4_rebalance_cost(benchmark, scale, seed):
+    """Time a reduced version of the Fig. 4 sweep (0 vs 5 rebalances)."""
+    outcome = benchmark.pedantic(
+        lambda: figure4(scale=scale, seed=seed, rebalance_levels=(0, 5)),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.series["seconds"][1] > 0
+
+
+class TestShape:
+    def test_time_grows_with_rebalances(self, result):
+        seconds = result.series["seconds"]
+        assert seconds[-1] > seconds[0]
+
+    def test_growth_is_roughly_linear(self, result):
+        """A straight-line fit explains most of the variance in run time."""
+        x = np.asarray(result.x_values)
+        y = np.asarray(result.series["seconds"])
+        slope, intercept = np.polyfit(x, y, 1)
+        fitted = slope * x + intercept
+        ss_res = float(np.sum((y - fitted) ** 2))
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+        assert slope > 0
+        assert r_squared > 0.8
+
+    def test_all_times_positive(self, result):
+        assert all(t > 0 for t in result.series["seconds"])

@@ -1,0 +1,58 @@
+"""Paper Fig. 5 — efficiency vs 1/mean communication cost, normal task sizes.
+
+Paper claims reproduced here:
+
+* the PN scheduler gives the best (or near-best) processor efficiency across
+  the communication-cost sweep;
+* efficiency rises as the mean communication cost falls (1/cost rises);
+* the GA schedulers benefit from predicting communication costs, so PN stays
+  ahead of the reactive immediate-mode heuristics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure5
+from repro.schedulers import ALL_SCHEDULER_NAMES, IMMEDIATE_SCHEDULER_NAMES
+
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+@pytest.fixture
+def result(scale, seed):
+    return _cache.get("fig5", lambda: figure5(scale=scale, seed=seed))
+
+
+def test_fig5_efficiency_normal(benchmark, scale, seed):
+    """Time the full Fig. 5 sweep (all seven schedulers, every comm-cost point)."""
+    outcome = _cache.run_once("fig5", lambda: figure5(scale=scale, seed=seed), benchmark)
+    assert set(outcome.series) == set(ALL_SCHEDULER_NAMES)
+
+
+class TestShape:
+    def test_pn_near_top_at_every_point(self, result):
+        """PN is within the top three schedulers by efficiency at every comm cost."""
+        for i in range(len(result.x_values)):
+            values = {name: result.series[name][i] for name in result.series}
+            ranked = sorted(values, key=values.get, reverse=True)
+            assert ranked.index("PN") < 3, f"PN rank {ranked.index('PN')} at point {i}: {values}"
+
+    def test_pn_beats_immediate_heuristics_on_average(self, result):
+        pn_mean = np.mean(result.series["PN"])
+        for name in IMMEDIATE_SCHEDULER_NAMES:
+            assert pn_mean >= np.mean(result.series[name]) * 0.98
+
+    def test_efficiency_rises_as_comm_cost_falls(self, result):
+        """For PN, the cheapest-communication point beats the most expensive one."""
+        series = result.series["PN"]
+        assert series[-1] > series[0]
+
+    def test_efficiencies_are_valid_fractions(self, result):
+        for series in result.series.values():
+            assert all(0.0 < v <= 1.0 for v in series)
+
+    def test_x_axis_is_inverse_comm_cost_increasing(self, result):
+        assert result.x_name == "1/mean_comm_cost"
+        assert np.all(np.diff(result.x_values) > 0)

@@ -1,0 +1,39 @@
+"""Paper Fig. 6 — makespan per scheduler, normal(1000 MFLOPs, 9e5) task sizes.
+
+Paper claim reproduced here: PN outperforms all the other schedulers in total
+execution time on the normally distributed workload.
+"""
+
+import pytest
+
+from repro.experiments import figure6
+from repro.experiments.reporting import figure_report
+
+from _bars import assert_common_bar_shape, rank_of
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+@pytest.fixture
+def result(scale, seed):
+    return _cache.get("fig6", lambda: figure6(scale=scale, seed=seed))
+
+
+def test_fig6_makespan_normal(benchmark, scale, seed):
+    """Time the full Fig. 6 comparison (all seven schedulers)."""
+    outcome = _cache.run_once("fig6", lambda: figure6(scale=scale, seed=seed), benchmark)
+    assert outcome.kind == "bars"
+
+
+class TestShape:
+    def test_common_bar_shape(self, result):
+        assert_common_bar_shape(result, pn_max_rank=2)
+
+    def test_pn_beats_every_immediate_heuristic(self, result):
+        bars = result.bar_values()
+        for name in ("EF", "LL", "RR"):
+            assert bars["PN"] <= bars[name] * 1.02
+
+    def test_report_renders(self, result):
+        assert "fig6" in figure_report(result)

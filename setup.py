@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file only
+exists so that ``python setup.py develop`` / legacy editable installs work in
+offline environments where the ``wheel`` package (needed by PEP 660 editable
+builds on older setuptools) is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

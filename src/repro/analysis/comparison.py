@@ -1,0 +1,128 @@
+"""Cross-experiment comparison analytics.
+
+The paper's conclusion rests on PN winning *consistently* across workload
+shapes and communication-cost regimes, not on any single figure.  These
+helpers aggregate several :class:`~repro.experiments.runner.ComparisonResult`
+objects (one per experimental condition) into win counts, pairwise win/loss
+matrices and relative-to-best ratios, which is how EXPERIMENTS.md summarises
+the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..experiments.runner import ComparisonResult
+from ..util.errors import ConfigurationError
+from ..util.tables import format_table
+
+__all__ = ["WinLossMatrix", "aggregate_comparisons", "AggregateSummary"]
+
+
+@dataclass
+class WinLossMatrix:
+    """Pairwise win counts: ``wins[a][b]`` = conditions where *a* beat *b*."""
+
+    schedulers: List[str]
+    wins: Dict[str, Dict[str, int]]
+
+    def win_rate(self, scheduler: str) -> float:
+        """Fraction of pairwise contests the scheduler won."""
+        if scheduler not in self.wins:
+            raise ConfigurationError(f"unknown scheduler {scheduler!r}")
+        won = sum(self.wins[scheduler].values())
+        lost = sum(self.wins[other][scheduler] for other in self.schedulers if other != scheduler)
+        total = won + lost
+        return won / total if total else 0.0
+
+    def to_text(self) -> str:
+        """Render the matrix as a table (rows beat columns)."""
+        headers = ["beats ->", *self.schedulers]
+        rows = []
+        for name in self.schedulers:
+            rows.append([name, *[self.wins[name].get(other, 0) for other in self.schedulers]])
+        return format_table(headers, rows, title="Pairwise wins (row beats column), by makespan")
+
+
+@dataclass
+class AggregateSummary:
+    """Aggregated view over many experimental conditions."""
+
+    schedulers: List[str]
+    conditions: int
+    wins_by_makespan: Dict[str, int]
+    wins_by_efficiency: Dict[str, int]
+    mean_relative_makespan: Dict[str, float]
+    matrix: WinLossMatrix
+
+    def overall_winner(self) -> str:
+        """Scheduler with the most lowest-makespan wins (ties broken by relative makespan)."""
+        return min(
+            self.schedulers,
+            key=lambda s: (-self.wins_by_makespan.get(s, 0), self.mean_relative_makespan[s]),
+        )
+
+    def to_text(self) -> str:
+        """Render the summary as a table."""
+        headers = [
+            "scheduler",
+            "wins_makespan",
+            "wins_efficiency",
+            "mean_makespan_vs_best",
+        ]
+        rows = [
+            [
+                name,
+                self.wins_by_makespan.get(name, 0),
+                self.wins_by_efficiency.get(name, 0),
+                self.mean_relative_makespan[name],
+            ]
+            for name in self.schedulers
+        ]
+        title = f"Aggregate over {self.conditions} experimental conditions"
+        return format_table(headers, rows, title=title)
+
+
+def aggregate_comparisons(comparisons: Iterable[ComparisonResult]) -> AggregateSummary:
+    """Aggregate many per-condition comparisons into wins and relative ratios.
+
+    ``mean_relative_makespan`` is the scheduler's makespan divided by the best
+    makespan of the same condition, averaged over conditions: 1.0 means "always
+    the best", 1.3 means "30 % slower than the best on average".
+    """
+    comparisons = list(comparisons)
+    if not comparisons:
+        raise ConfigurationError("at least one comparison is required")
+    schedulers = list(comparisons[0].schedulers.keys())
+    for comparison in comparisons:
+        if list(comparison.schedulers.keys()) != schedulers:
+            raise ConfigurationError("all comparisons must cover the same schedulers")
+
+    wins_makespan: Dict[str, int] = {name: 0 for name in schedulers}
+    wins_efficiency: Dict[str, int] = {name: 0 for name in schedulers}
+    relative: Dict[str, List[float]] = {name: [] for name in schedulers}
+    matrix = {name: {other: 0 for other in schedulers if other != name} for name in schedulers}
+
+    for comparison in comparisons:
+        makespans = comparison.makespans()
+        efficiencies = comparison.efficiencies()
+        best_makespan = min(makespans.values())
+        wins_makespan[comparison.best_by_makespan()] += 1
+        wins_efficiency[comparison.best_by_efficiency()] += 1
+        for name in schedulers:
+            relative[name].append(makespans[name] / best_makespan if best_makespan > 0 else 1.0)
+            for other in schedulers:
+                if other != name and makespans[name] < makespans[other]:
+                    matrix[name][other] += 1
+
+    return AggregateSummary(
+        schedulers=schedulers,
+        conditions=len(comparisons),
+        wins_by_makespan=wins_makespan,
+        wins_by_efficiency=wins_efficiency,
+        mean_relative_makespan={name: float(np.mean(values)) for name, values in relative.items()},
+        matrix=WinLossMatrix(schedulers=schedulers, wins=matrix),
+    )

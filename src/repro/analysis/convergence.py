@@ -1,0 +1,102 @@
+"""Convergence analysis of GA runs (supports the Fig. 3 discussion).
+
+Given the per-generation best-makespan history of one or more GA runs, these
+helpers quantify how quickly the search converges: the generation at which a
+given fraction of the final improvement was reached, the area-under-curve of
+the reduction history, and the marginal improvement of the last generations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..ga.engine import GAResult
+from ..util.errors import ConfigurationError
+
+__all__ = ["ConvergenceStats", "analyse_history", "analyse_result", "compare_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Summary of one GA run's convergence behaviour."""
+
+    generations: int
+    initial_makespan: float
+    final_makespan: float
+    total_reduction: float
+    generations_to_half_reduction: int
+    generations_to_90pct_reduction: int
+    auc_reduction: float
+    tail_improvement: float
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Final fractional reduction relative to the initial makespan."""
+        if self.initial_makespan <= 0:
+            return 0.0
+        return self.total_reduction / self.initial_makespan
+
+
+def analyse_history(history: Sequence[float], initial_makespan: float) -> ConvergenceStats:
+    """Analyse one best-makespan-per-generation history.
+
+    Parameters
+    ----------
+    history:
+        The best makespan after each generation (non-increasing).
+    initial_makespan:
+        The best makespan of the initial population (the reduction reference).
+    """
+    values = np.asarray(list(history), dtype=float)
+    if values.size == 0:
+        raise ConfigurationError("history must contain at least one generation")
+    if initial_makespan <= 0:
+        raise ConfigurationError("initial_makespan must be positive")
+
+    final = float(values[-1])
+    total_reduction = max(0.0, initial_makespan - final)
+    reduction_series = np.maximum(0.0, initial_makespan - values)
+
+    def generations_to(fraction: float) -> int:
+        if total_reduction <= 0:
+            return 0
+        target = fraction * total_reduction
+        reached = np.nonzero(reduction_series >= target - 1e-12)[0]
+        return int(reached[0]) + 1 if reached.size else int(values.size)
+
+    # Normalised area under the reduction curve: 1.0 would mean the full
+    # reduction was achieved instantly at generation 1.
+    if total_reduction > 0:
+        auc = float(np.mean(reduction_series / total_reduction))
+    else:
+        auc = 0.0
+
+    tail_window = max(1, values.size // 10)
+    tail_improvement = float(values[-tail_window - 1] - final) if values.size > tail_window else 0.0
+
+    return ConvergenceStats(
+        generations=int(values.size),
+        initial_makespan=float(initial_makespan),
+        final_makespan=final,
+        total_reduction=total_reduction,
+        generations_to_half_reduction=generations_to(0.5),
+        generations_to_90pct_reduction=generations_to(0.9),
+        auc_reduction=auc,
+        tail_improvement=tail_improvement,
+    )
+
+
+def analyse_result(result: GAResult) -> ConvergenceStats:
+    """Analyse the convergence of one :class:`~repro.ga.engine.GAResult`."""
+    return analyse_history(result.makespan_history, result.initial_best_makespan)
+
+
+def compare_convergence(results: Iterable[GAResult]) -> List[ConvergenceStats]:
+    """Analyse several GA runs (e.g. the three curves of Fig. 3)."""
+    stats = [analyse_result(result) for result in results]
+    if not stats:
+        raise ConfigurationError("at least one GA result is required")
+    return stats

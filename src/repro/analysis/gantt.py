@@ -1,0 +1,117 @@
+"""ASCII Gantt rendering of execution traces.
+
+The simulator records, for every task, when it was dispatched, how long the
+transfer took and when it executed.  These helpers turn that trace into a
+terminal-friendly Gantt chart (one row per processor) so schedules produced
+by different policies can be eyeballed side by side — the closest a text
+library gets to the paper's schedule illustrations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..sim.trace import ExecutionTrace
+from ..util.errors import ConfigurationError
+
+__all__ = ["render_gantt", "utilisation_sparkline"]
+
+#: Characters used for, respectively, idle time, communication and execution.
+IDLE_CHAR = "."
+COMM_CHAR = "-"
+EXEC_CHAR = "#"
+
+
+def render_gantt(
+    trace: ExecutionTrace,
+    *,
+    width: int = 80,
+    end_time: Optional[float] = None,
+    show_legend: bool = True,
+) -> str:
+    """Render the trace as an ASCII Gantt chart, one row per processor.
+
+    Each row is *width* characters wide and spans ``[0, end_time]`` (by
+    default the completion time of the trace).  Within a cell the dominant
+    activity wins: execution over communication over idle.
+
+    Parameters
+    ----------
+    trace:
+        The execution trace to render.
+    width:
+        Number of character cells per processor row.
+    end_time:
+        Optional explicit time horizon; defaults to the trace's completion time.
+    show_legend:
+        Whether to append a one-line legend.
+    """
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    if len(trace) == 0:
+        raise ConfigurationError("cannot render an empty trace")
+    horizon = float(end_time) if end_time is not None else trace.completion_time()
+    if horizon <= 0:
+        raise ConfigurationError(f"end_time must be positive, got {horizon}")
+
+    cell = horizon / width
+    lines: List[str] = []
+    label_width = len(f"P{trace.n_processors - 1}")
+    for proc in range(trace.n_processors):
+        # accumulate per-cell exec and comm coverage in seconds
+        exec_cover = np.zeros(width)
+        comm_cover = np.zeros(width)
+        for record in trace.records_for(proc):
+            _accumulate(exec_cover, record.exec_start, record.exec_end, cell, width)
+            _accumulate(comm_cover, record.dispatch_time, record.exec_start, cell, width)
+        row_chars = []
+        for i in range(width):
+            if exec_cover[i] >= 0.5 * cell or (exec_cover[i] > 0 and exec_cover[i] >= comm_cover[i]):
+                row_chars.append(EXEC_CHAR)
+            elif comm_cover[i] > 0:
+                row_chars.append(COMM_CHAR)
+            else:
+                row_chars.append(IDLE_CHAR)
+        lines.append(f"P{proc}".ljust(label_width) + " |" + "".join(row_chars) + "|")
+
+    header = f"t=0{'':>{max(0, width - len('t=0') - len(f't={horizon:.4g}'))}}t={horizon:.4g}"
+    lines.insert(0, " " * (label_width + 2) + header)
+    if show_legend:
+        lines.append(
+            f"legend: '{EXEC_CHAR}' executing, '{COMM_CHAR}' receiving task, '{IDLE_CHAR}' idle"
+        )
+    return "\n".join(lines)
+
+
+def _accumulate(cover: np.ndarray, start: float, end: float, cell: float, width: int) -> None:
+    """Add the coverage of the interval [start, end) to the per-cell array."""
+    if end <= start:
+        return
+    first = int(start // cell)
+    last = int(min(end, cell * width) // cell)
+    for index in range(max(0, first), min(width, last + 1)):
+        cell_start = index * cell
+        cell_end = cell_start + cell
+        cover[index] += max(0.0, min(end, cell_end) - max(start, cell_start))
+
+
+def utilisation_sparkline(trace: ExecutionTrace, *, levels: str = " .:-=+*#%@") -> str:
+    """A one-line per-processor utilisation summary using density characters.
+
+    Each processor contributes one character whose density reflects the
+    fraction of the makespan it spent executing tasks.
+    """
+    if len(trace) == 0:
+        raise ConfigurationError("cannot summarise an empty trace")
+    if len(levels) < 2:
+        raise ConfigurationError("levels must contain at least two characters")
+    horizon = trace.completion_time()
+    busy = trace.busy_seconds()
+    chars = []
+    for proc in range(trace.n_processors):
+        fraction = min(1.0, busy[proc] / horizon) if horizon > 0 else 0.0
+        index = min(len(levels) - 1, int(round(fraction * (len(levels) - 1))))
+        chars.append(levels[index])
+    return "".join(chars)

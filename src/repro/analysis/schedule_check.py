@@ -1,0 +1,171 @@
+"""Schedule validation: structural checks over a finished simulation.
+
+The experiments hinge on the simulator behaving physically: a processor never
+executes two tasks at once, every task is processed exactly once, no task
+starts before it arrived, and the reported metrics follow from the trace.
+:func:`validate_simulation` re-derives all of that from the raw trace and
+returns a report listing any violations — it is used by the integration tests
+and is handy when developing new schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..sim.metrics import compute_metrics
+from ..sim.simulation import SimulationResult
+from ..sim.trace import ExecutionTrace
+from ..workloads.task import TaskSet
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_trace", "validate_simulation"]
+
+#: Numerical slack used when comparing floating-point times.
+TIME_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One violated invariant."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a trace or simulation result."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no invariant was violated."""
+        return not self.issues
+
+    def add(self, code: str, message: str) -> None:
+        """Record one violation."""
+        self.issues.append(ValidationIssue(code=code, message=message))
+
+    def summary(self) -> str:
+        """One-line human readable summary."""
+        status = "OK" if self.ok else f"{len(self.issues)} issue(s)"
+        return f"schedule validation: {status} ({self.checks_run} checks)"
+
+
+def validate_trace(trace: ExecutionTrace, tasks: Optional[TaskSet] = None) -> ValidationReport:
+    """Check the physical consistency of an execution trace.
+
+    Checks performed:
+
+    * every task appears at most once (and, when *tasks* is given, exactly the
+      submitted tasks appear, each exactly once);
+    * per-record time ordering (arrival <= assignment <= dispatch <= start <= end);
+    * no two executions overlap on the same processor;
+    * when *tasks* is given, recorded sizes match the submitted sizes and no
+      task is dispatched before its arrival time.
+    """
+    report = ValidationReport()
+
+    # -- uniqueness / coverage ---------------------------------------------------------
+    report.checks_run += 1
+    seen_ids = [record.task_id for record in trace]
+    if len(set(seen_ids)) != len(seen_ids):
+        duplicates = sorted({tid for tid in seen_ids if seen_ids.count(tid) > 1})
+        report.add("duplicate-task", f"tasks executed more than once: {duplicates}")
+
+    if tasks is not None:
+        report.checks_run += 1
+        submitted = set(tasks.task_ids)
+        executed = set(seen_ids)
+        missing = submitted - executed
+        unknown = executed - submitted
+        if missing:
+            report.add("missing-task", f"submitted tasks never executed: {sorted(missing)[:10]}")
+        if unknown:
+            report.add("unknown-task", f"executed tasks never submitted: {sorted(unknown)[:10]}")
+
+    # -- per-record consistency -----------------------------------------------------------
+    report.checks_run += 1
+    for record in trace:
+        ordered = (
+            record.arrival_time
+            <= record.assigned_time + TIME_EPS
+            and record.assigned_time <= record.dispatch_time + TIME_EPS
+            and record.dispatch_time <= record.exec_start + TIME_EPS
+            and record.exec_start <= record.exec_end + TIME_EPS
+        )
+        if not ordered:
+            report.add(
+                "record-ordering",
+                f"task {record.task_id}: inconsistent times "
+                f"({record.arrival_time}, {record.assigned_time}, {record.dispatch_time}, "
+                f"{record.exec_start}, {record.exec_end})",
+            )
+        if tasks is not None and record.task_id in tasks:
+            task = tasks.get(record.task_id)
+            if abs(task.size_mflops - record.size_mflops) > TIME_EPS:
+                report.add(
+                    "size-mismatch",
+                    f"task {record.task_id}: submitted {task.size_mflops} MFLOPs but "
+                    f"recorded {record.size_mflops}",
+                )
+            if record.dispatch_time + TIME_EPS < task.arrival_time:
+                report.add(
+                    "dispatch-before-arrival",
+                    f"task {record.task_id} dispatched at {record.dispatch_time} "
+                    f"before its arrival at {task.arrival_time}",
+                )
+
+    # -- no overlapping executions on one processor -----------------------------------------
+    report.checks_run += 1
+    for proc in range(trace.n_processors):
+        records = trace.records_for(proc)
+        for earlier, later in zip(records, records[1:]):
+            if later.exec_start + TIME_EPS < earlier.exec_end:
+                report.add(
+                    "overlap",
+                    f"processor {proc}: task {later.task_id} starts at {later.exec_start} "
+                    f"before task {earlier.task_id} ends at {earlier.exec_end}",
+                )
+    return report
+
+
+def validate_simulation(result: SimulationResult, tasks: Optional[TaskSet] = None) -> ValidationReport:
+    """Validate a full simulation result: its trace plus its reported metrics."""
+    report = validate_trace(result.trace, tasks)
+
+    report.checks_run += 1
+    recomputed = compute_metrics(result.trace)
+    if not np.isclose(recomputed.makespan, result.makespan, rtol=1e-9, atol=1e-9):
+        report.add(
+            "makespan-mismatch",
+            f"reported makespan {result.makespan} differs from trace-derived "
+            f"{recomputed.makespan}",
+        )
+    if not np.isclose(recomputed.efficiency, result.efficiency, rtol=1e-9, atol=1e-9):
+        report.add(
+            "efficiency-mismatch",
+            f"reported efficiency {result.efficiency} differs from trace-derived "
+            f"{recomputed.efficiency}",
+        )
+
+    report.checks_run += 1
+    if result.metrics.tasks_completed != len(result.trace):
+        report.add(
+            "count-mismatch",
+            f"metrics report {result.metrics.tasks_completed} completions but the trace has "
+            f"{len(result.trace)} records",
+        )
+    if tasks is not None and result.n_tasks != len(tasks):
+        report.add(
+            "task-count-mismatch",
+            f"simulation claims {result.n_tasks} tasks but {len(tasks)} were submitted",
+        )
+    return report

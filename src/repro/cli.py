@@ -1,0 +1,155 @@
+"""Command-line interface: reproduce the paper's figures from a terminal.
+
+Usage examples::
+
+    python -m repro.cli list
+    python -m repro.cli figure5 --scale small --seed 42
+    python -m repro.cli all --scale smoke --output results/
+    python -m repro.cli compare --workload normal --comm-cost 20 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments.config import SCALES, get_scale
+from .experiments.figures import FIGURES, list_figures, run_figure
+from .experiments.reporting import comparison_table, experiment_summary, figure_report
+from .experiments.runner import compare_schedulers
+from .util.errors import ReproError
+from .workloads.suites import paper_workloads, workload_by_name
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scheduler",
+        description=(
+            "Reproduce the experiments of Page & Naughton (2005): dynamic GA task "
+            "scheduling for heterogeneous distributed computing."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible figures and available scales")
+
+    for figure_id in list_figures():
+        fig_parser = sub.add_parser(
+            figure_id, help=f"reproduce the paper's {figure_id.replace('fig', 'figure ')}"
+        )
+        _add_common_options(fig_parser)
+
+    all_parser = sub.add_parser("all", help="reproduce every figure and print a summary")
+    _add_common_options(all_parser)
+    all_parser.add_argument(
+        "--output", default=None, help="directory to write one .txt report per figure"
+    )
+
+    cmp_parser = sub.add_parser(
+        "compare", help="compare all schedulers on one workload / communication cost"
+    )
+    _add_common_options(cmp_parser)
+    cmp_parser.add_argument(
+        "--workload",
+        default="normal",
+        choices=sorted(paper_workloads(1).keys()),
+        help="which of the paper's workload shapes to use",
+    )
+    cmp_parser.add_argument(
+        "--comm-cost", type=float, default=20.0, help="mean per-link communication cost (s)"
+    )
+    cmp_parser.add_argument(
+        "--tasks", type=int, default=None, help="override the number of tasks"
+    )
+    return parser
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES.keys()),
+        help="experiment scale preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master random seed")
+
+
+def _cmd_list() -> int:
+    print("Reproducible figures:")
+    for figure_id, fn in FIGURES.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {figure_id:6s} {doc}")
+    print("\nScales:")
+    for name, scale in SCALES.items():
+        print(
+            f"  {name:6s} tasks={scale.n_tasks}/{scale.n_tasks_large} "
+            f"procs={scale.n_processors} batch={scale.batch_size} "
+            f"generations={scale.max_generations} repeats={scale.repeats}"
+        )
+    return 0
+
+
+def _cmd_figure(figure_id: str, args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    result = run_figure(figure_id, scale=scale, seed=args.seed)
+    print(figure_report(result))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    results = []
+    for figure_id in list_figures():
+        print(f"== running {figure_id} at scale {scale.name} ==", file=sys.stderr)
+        result = run_figure(figure_id, scale=scale, seed=args.seed)
+        results.append(result)
+        report = figure_report(result)
+        print(report)
+        if args.output:
+            os.makedirs(args.output, exist_ok=True)
+            path = os.path.join(args.output, f"{figure_id}.txt")
+            with open(path, "w", encoding="utf8") as handle:
+                handle.write(report)
+    print(experiment_summary(results))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    n_tasks = args.tasks or scale.n_tasks
+    spec = workload_by_name(args.workload, n_tasks)
+    comparison = compare_schedulers(
+        spec,
+        scale,
+        mean_comm_cost=args.comm_cost,
+        seed=args.seed,
+        condition={"workload": args.workload, "mean_comm_cost": args.comm_cost},
+    )
+    print(comparison_table(comparison))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "all":
+            return _cmd_all(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        return _cmd_figure(args.command, args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    raise SystemExit(main())

@@ -1,0 +1,169 @@
+"""Network model: per-link communication costs between scheduler and clients.
+
+The paper models a star topology: a single dedicated scheduler node talks to
+every client (worker) over its own link.  Each link has its *own* randomly
+generated mean cost, and the cost each individual task dispatch incurs is
+normally distributed around that mean (Sect. 4.3: "Each communications link
+has its own randomly generated mean cost, which is normally distributed").
+Link conditions may also drift over time via a scaling model, which is what
+makes the comm-cost *prediction* of the PN scheduler worthwhile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng, spawn_rngs
+from ..util.validation import require_non_negative, require_positive
+from .variation import AvailabilityModel, ConstantAvailability
+
+__all__ = ["CommLink", "Network", "build_random_network"]
+
+
+@dataclass
+class CommLink:
+    """A single scheduler-to-client communication link.
+
+    Attributes
+    ----------
+    proc_id:
+        The client processor this link serves.
+    mean_cost:
+        Mean per-task communication cost in seconds.
+    relative_std:
+        Standard deviation of the per-task cost, as a fraction of the mean.
+    condition:
+        Optional time-varying multiplier on the mean cost (values > 1 are
+        interpreted as "more of the nominal bandwidth available", i.e. lower
+        cost); defaults to a constant, fully available link.
+    """
+
+    proc_id: int
+    mean_cost: float
+    relative_std: float = 0.25
+    condition: AvailabilityModel = field(default_factory=ConstantAvailability)
+
+    def __post_init__(self) -> None:
+        if self.proc_id < 0 or int(self.proc_id) != self.proc_id:
+            raise ConfigurationError(f"proc_id must be a non-negative integer, got {self.proc_id!r}")
+        require_non_negative(self.mean_cost, "mean_cost")
+        require_non_negative(self.relative_std, "relative_std")
+
+    def effective_mean(self, time: float = 0.0) -> float:
+        """Mean cost at *time*, accounting for current link condition."""
+        availability = self.condition.availability(time)
+        return self.mean_cost / max(availability, 1e-9)
+
+    def sample_cost(self, rng: RNGLike = None, time: float = 0.0) -> float:
+        """Draw the communication cost (seconds) of one task dispatch at *time*."""
+        gen = ensure_rng(rng)
+        mean = self.effective_mean(time)
+        if mean == 0.0:
+            return 0.0
+        cost = gen.normal(mean, self.relative_std * mean)
+        return float(max(0.0, cost))
+
+
+class Network:
+    """The collection of links between the scheduler host and every client."""
+
+    def __init__(self, links: Sequence[CommLink]):
+        if not links:
+            raise ConfigurationError("a network requires at least one link")
+        ids = [link.proc_id for link in links]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError("each processor must have exactly one link")
+        self._links: Dict[int, CommLink] = {link.proc_id: link for link in links}
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __contains__(self, proc_id: int) -> bool:
+        return proc_id in self._links
+
+    def link(self, proc_id: int) -> CommLink:
+        """Return the link serving *proc_id* (raises if unknown)."""
+        try:
+            return self._links[proc_id]
+        except KeyError:
+            raise ConfigurationError(f"no link registered for processor {proc_id}") from None
+
+    @property
+    def proc_ids(self) -> List[int]:
+        """Processor ids served by this network, in ascending order."""
+        return sorted(self._links)
+
+    def mean_costs(self, time: float = 0.0) -> np.ndarray:
+        """Array of effective mean costs at *time*, ordered by processor id."""
+        return np.array(
+            [self._links[p].effective_mean(time) for p in self.proc_ids], dtype=float
+        )
+
+    def overall_mean_cost(self, time: float = 0.0) -> float:
+        """Mean of the per-link effective means (the x-axis of Figs. 5 and 7)."""
+        return float(self.mean_costs(time).mean())
+
+    def sample_cost(self, proc_id: int, rng: RNGLike = None, time: float = 0.0) -> float:
+        """Draw a dispatch cost for the link to *proc_id* at *time*."""
+        return self.link(proc_id).sample_cost(rng, time)
+
+    def scaled(self, factor: float) -> "Network":
+        """Return a copy of the network with every mean cost multiplied by *factor*.
+
+        Used by the communication-cost sweeps of Figs. 5 and 7.
+        """
+        require_non_negative(factor, "factor")
+        return Network(
+            [
+                CommLink(
+                    proc_id=link.proc_id,
+                    mean_cost=link.mean_cost * factor,
+                    relative_std=link.relative_std,
+                    condition=link.condition,
+                )
+                for link in self._links.values()
+            ]
+        )
+
+
+def build_random_network(
+    n_processors: int,
+    mean_cost: float,
+    *,
+    link_mean_spread: float = 0.5,
+    relative_std: float = 0.25,
+    rng: RNGLike = None,
+) -> Network:
+    """Build a star network whose per-link mean costs are normally distributed.
+
+    Parameters
+    ----------
+    n_processors:
+        Number of client processors (and therefore links).
+    mean_cost:
+        Mean of the per-link mean costs, in seconds per dispatched task.
+    link_mean_spread:
+        Standard deviation of the per-link mean costs, as a fraction of
+        *mean_cost* (the paper states each link has its own randomly generated,
+        normally distributed mean).
+    relative_std:
+        Per-dispatch noise of each link, as a fraction of its mean.
+    rng:
+        Randomness source for the per-link means.
+    """
+    if n_processors <= 0:
+        raise ConfigurationError(f"n_processors must be positive, got {n_processors}")
+    require_non_negative(mean_cost, "mean_cost")
+    require_non_negative(link_mean_spread, "link_mean_spread")
+    gen = ensure_rng(rng)
+    link_means = gen.normal(mean_cost, link_mean_spread * mean_cost, size=n_processors)
+    link_means = np.maximum(link_means, 0.0)
+    links = [
+        CommLink(proc_id=i, mean_cost=float(link_means[i]), relative_std=relative_std)
+        for i in range(n_processors)
+    ]
+    return Network(links)

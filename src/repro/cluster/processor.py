@@ -1,0 +1,83 @@
+"""Heterogeneous processor model.
+
+A processor is described by its *peak* execution rate in Mflop/s (millions of
+floating point operations per second, the unit the paper adopts from the
+Linpack benchmark) and an availability model describing how much of that peak
+is actually usable at a given simulation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..util.errors import ConfigurationError
+from ..util.validation import require_non_negative, require_positive
+from .variation import AvailabilityModel, ConstantAvailability
+
+__all__ = ["Processor"]
+
+
+@dataclass
+class Processor:
+    """A single (possibly non-dedicated) compute node.
+
+    Attributes
+    ----------
+    proc_id:
+        Index of the processor within its cluster (non-negative, unique).
+    peak_rate_mflops:
+        Peak execution rate in Mflop/s, as would be measured by Linpack on an
+        otherwise idle machine.
+    availability:
+        Model of the fraction of the peak rate available over time; defaults
+        to a dedicated processor (always 100 %).
+    name:
+        Optional human-readable label (host name).
+    """
+
+    proc_id: int
+    peak_rate_mflops: float
+    availability: AvailabilityModel = field(default_factory=ConstantAvailability)
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.proc_id < 0 or int(self.proc_id) != self.proc_id:
+            raise ConfigurationError(
+                f"proc_id must be a non-negative integer, got {self.proc_id!r}"
+            )
+        require_positive(self.peak_rate_mflops, "peak_rate_mflops")
+        if self.name is None:
+            self.name = f"proc{self.proc_id}"
+
+    # -- rates ---------------------------------------------------------------------
+    def current_rate(self, time: float) -> float:
+        """Effective execution rate (Mflop/s) at simulation time *time*."""
+        require_non_negative(time, "time")
+        return self.peak_rate_mflops * self.availability.availability(time)
+
+    def mean_rate(self, horizon: float = 1000.0) -> float:
+        """Average effective rate over ``[0, horizon]`` seconds."""
+        return self.peak_rate_mflops * self.availability.mean_availability(horizon)
+
+    def execution_time(self, size_mflops: float, time: float = 0.0) -> float:
+        """Seconds needed to execute *size_mflops* starting at *time*.
+
+        Uses the instantaneous rate at the start time; the simulator refines
+        this by integrating over availability changes when they matter.
+        """
+        require_positive(size_mflops, "size_mflops")
+        return size_mflops / self.current_rate(time)
+
+    def is_dedicated(self) -> bool:
+        """True when the availability model is a constant 100 %."""
+        return (
+            isinstance(self.availability, ConstantAvailability)
+            and self.availability.level >= 1.0
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Processor(id={self.proc_id}, name={self.name!r}, "
+            f"peak={self.peak_rate_mflops:g} Mflop/s)"
+        )

@@ -1,0 +1,13 @@
+"""The paper's primary contribution: the PN dynamic GA scheduler."""
+
+from .batching import DynamicBatchSizer, FixedBatchSizer
+from .comm_estimator import CommCostEstimator
+from .pn_scheduler import PNScheduler, default_pn_ga_config
+
+__all__ = [
+    "DynamicBatchSizer",
+    "FixedBatchSizer",
+    "CommCostEstimator",
+    "PNScheduler",
+    "default_pn_ga_config",
+]

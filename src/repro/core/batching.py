@@ -1,0 +1,156 @@
+"""Dynamic batch sizing (Sect. 3.7 of the paper).
+
+The scheduler must pick batch sizes that are large enough to produce
+efficient schedules (and keep the dedicated scheduling processor busy) but
+small enough that no worker goes idle while the GA is still running.  The
+paper's policy:
+
+* after batch ``p`` has been scheduled, estimate the time until the first
+  processor becomes idle, ``s_p = min_j (δ_j / P_j)`` where ``δ_j`` is the
+  outstanding work queued on processor ``j`` (MFLOPs) and ``P_j`` its rate;
+* smooth that estimate with the Γ function to suppress transients;
+* because the GA takes Θ(H²) time in the batch size ``H``, choose the next
+  batch size as ``H_{p+1} = floor(sqrt(Γ_{s_p} + 1))``.
+
+The raw square-root rule yields very small batches when queues are short, so
+the implementation exposes ``min_batch``/``max_batch`` clamps (the paper's
+experiments use batches of around 200 tasks); the unclamped value is always
+available for inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.smoothing import ExponentialSmoother
+from ..util.validation import require_positive_int, require_probability
+
+__all__ = ["DynamicBatchSizer", "FixedBatchSizer"]
+
+
+@dataclass
+class DynamicBatchSizer:
+    """The paper's ``H_{p+1} = floor(sqrt(Γ_{s_p} + 1))`` batch-size policy.
+
+    Parameters
+    ----------
+    nu:
+        Smoothing factor of the Γ estimate of the time-until-idle.
+    min_batch, max_batch:
+        Clamps applied to the raw square-root rule.  ``min_batch`` must be at
+        least 1; ``max_batch`` may be ``None`` for "no upper clamp".
+    scale:
+        Optional multiplier applied to the raw rule before clamping; the
+        default of 1.0 is the paper's rule, larger values trade scheduler run
+        time for schedule quality.
+    initial_batch:
+        Batch size to use before any time-until-idle observation exists
+        (the very first invocation).
+    """
+
+    nu: float = 0.5
+    min_batch: int = 1
+    max_batch: Optional[int] = None
+    scale: float = 1.0
+    initial_batch: int = 200
+    _smoother: ExponentialSmoother = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        require_probability(self.nu, "nu")
+        require_positive_int(self.min_batch, "min_batch")
+        require_positive_int(self.initial_batch, "initial_batch")
+        if self.max_batch is not None:
+            require_positive_int(self.max_batch, "max_batch")
+            if self.max_batch < self.min_batch:
+                raise ConfigurationError(
+                    f"max_batch ({self.max_batch}) must be >= min_batch ({self.min_batch})"
+                )
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+        self._smoother = ExponentialSmoother(nu=self.nu)
+
+    # -- observations ------------------------------------------------------------------
+    def observe_time_until_idle(self, seconds: float) -> float:
+        """Fold an observed ``s_p`` (seconds until the first processor idles) into Γ."""
+        if seconds < 0 or not np.isfinite(seconds):
+            raise ConfigurationError(f"time until idle must be finite and >= 0, got {seconds}")
+        return self._smoother.update(seconds)
+
+    def observe_queue_state(self, pending_loads: np.ndarray, rates: np.ndarray) -> float:
+        """Compute ``s_p = min_j(pending_loads_j / rates_j)`` and fold it into Γ."""
+        pending = np.asarray(pending_loads, dtype=float)
+        rates_arr = np.asarray(rates, dtype=float)
+        if pending.shape != rates_arr.shape:
+            raise ConfigurationError("pending_loads and rates must have the same shape")
+        if np.any(rates_arr <= 0):
+            raise ConfigurationError("all rates must be positive")
+        s_p = float(np.min(pending / rates_arr))
+        return self.observe_time_until_idle(s_p)
+
+    # -- batch size --------------------------------------------------------------------
+    @property
+    def smoothed_time_until_idle(self) -> Optional[float]:
+        """Current Γ estimate of the time until the first processor idles."""
+        return self._smoother.value
+
+    def raw_batch_size(self) -> int:
+        """The unclamped ``floor(sqrt(Γ + 1))`` value (paper's rule verbatim)."""
+        gamma = self._smoother.value
+        if gamma is None:
+            return self.initial_batch
+        return int(math.floor(math.sqrt(max(gamma, 0.0) + 1.0)))
+
+    def next_batch_size(self, n_queued: Optional[int] = None) -> int:
+        """The batch size to use for the next scheduling invocation.
+
+        Applies the optional scale factor and the min/max clamps, and never
+        exceeds the number of queued tasks when that is provided.
+        """
+        if self._smoother.value is None:
+            size = self.initial_batch
+        else:
+            size = int(math.floor(self.scale * self.raw_batch_size()))
+        size = max(self.min_batch, size)
+        if self.max_batch is not None:
+            size = min(self.max_batch, size)
+        if n_queued is not None:
+            size = min(size, max(0, int(n_queued)))
+        return size
+
+    def reset(self) -> None:
+        """Forget all observations."""
+        self._smoother.reset()
+
+
+@dataclass
+class FixedBatchSizer:
+    """Trivial policy returning a constant batch size (used by MM/MX/ZO)."""
+
+    batch_size: int = 200
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.batch_size, "batch_size")
+
+    def observe_time_until_idle(self, seconds: float) -> float:
+        """Accepted for interface compatibility; has no effect."""
+        return float(seconds)
+
+    def observe_queue_state(self, pending_loads: np.ndarray, rates: np.ndarray) -> float:
+        """Accepted for interface compatibility; has no effect."""
+        pending = np.asarray(pending_loads, dtype=float)
+        rates_arr = np.asarray(rates, dtype=float)
+        return float(np.min(pending / rates_arr)) if pending.size else 0.0
+
+    def next_batch_size(self, n_queued: Optional[int] = None) -> int:
+        """The configured batch size, capped by the queue length if given."""
+        if n_queued is None:
+            return self.batch_size
+        return min(self.batch_size, max(0, int(n_queued)))
+
+    def reset(self) -> None:
+        """No state to reset."""

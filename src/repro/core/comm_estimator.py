@@ -1,0 +1,77 @@
+"""Communication-cost estimation from historical observations.
+
+The PN scheduler's key informational advantage over the baselines (paper
+Sect. 5) is that it *predicts* the communication cost of dispatching a task
+to each client before deciding where to place it, using the Γ-smoothed
+history of previously observed dispatch costs.  The baselines only feel
+communication costs after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.smoothing import SmoothedMap
+from ..util.validation import require_non_negative, require_positive_int, require_probability
+
+__all__ = ["CommCostEstimator"]
+
+
+class CommCostEstimator:
+    """Per-processor smoothed estimates of dispatch communication cost.
+
+    Parameters
+    ----------
+    n_processors:
+        Number of processors (links) to track.
+    nu:
+        Smoothing factor of the Γ updates.
+    prior:
+        Estimate returned for a link before any observation has been made.
+        The default of 0.0 makes an unobserved link look free, which matches
+        the paper's scheduler learning costs purely from history.
+    """
+
+    def __init__(self, n_processors: int, nu: float = 0.5, prior: float = 0.0):
+        self.n_processors = require_positive_int(n_processors, "n_processors")
+        require_probability(nu, "nu")
+        self.prior = require_non_negative(prior, "prior")
+        self._estimates = SmoothedMap(nu=nu, default=self.prior)
+
+    def observe(self, proc: int, cost_seconds: float) -> float:
+        """Record one measured dispatch cost for *proc*'s link; returns the new estimate."""
+        self._check_proc(proc)
+        require_non_negative(cost_seconds, "cost_seconds")
+        return self._estimates.update(proc, float(cost_seconds))
+
+    def estimate(self, proc: int) -> float:
+        """Current smoothed estimate for *proc*'s link (prior if never observed)."""
+        self._check_proc(proc)
+        return self._estimates.get(proc)
+
+    def estimates(self) -> np.ndarray:
+        """Vector of estimates for every processor, ordered by processor index."""
+        return np.array([self._estimates.get(p) for p in range(self.n_processors)], dtype=float)
+
+    def observation_counts(self) -> np.ndarray:
+        """Number of observations folded in per processor."""
+        return np.array(
+            [self._estimates.observation_count(p) for p in range(self.n_processors)], dtype=int
+        )
+
+    def mean_estimate(self) -> float:
+        """Mean of the per-link estimates (the scheduler-side view of Figs. 5/7's x-axis)."""
+        return float(self.estimates().mean())
+
+    def reset(self) -> None:
+        """Forget every observation."""
+        self._estimates.reset()
+
+    def _check_proc(self, proc: int) -> None:
+        if not (0 <= int(proc) < self.n_processors):
+            raise ConfigurationError(
+                f"processor index {proc} out of range [0, {self.n_processors})"
+            )

@@ -1,0 +1,76 @@
+"""Plain-text reports of experiment results."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..util.tables import format_key_values, format_table
+from .figures import FigureResult
+from .runner import ComparisonResult
+
+__all__ = [
+    "comparison_table",
+    "figure_report",
+    "experiment_summary",
+]
+
+
+def comparison_table(result: ComparisonResult, *, title: Optional[str] = None) -> str:
+    """Render one :class:`ComparisonResult` as an aligned table.
+
+    Columns match what a reader would compare against the paper's figures:
+    mean makespan, mean efficiency, and their spreads across repeats.
+    """
+    headers = [
+        "scheduler",
+        "makespan_mean",
+        "makespan_std",
+        "efficiency_mean",
+        "efficiency_std",
+        "rank_makespan",
+        "rank_efficiency",
+    ]
+    rows = []
+    for name, cmp in result.schedulers.items():
+        rows.append(
+            [
+                name,
+                cmp.makespan.mean,
+                cmp.makespan.std,
+                cmp.efficiency.mean,
+                cmp.efficiency.std,
+                result.rank_of(name, "makespan"),
+                result.rank_of(name, "efficiency"),
+            ]
+        )
+    condition = ", ".join(f"{k}={v}" for k, v in result.condition.items())
+    full_title = title or f"Scheduler comparison ({condition}; {result.repeats} repeats)"
+    return format_table(headers, rows, title=full_title)
+
+
+def figure_report(figure: FigureResult, *, include_metadata: bool = True) -> str:
+    """Full text report of one regenerated figure: data, expectation, metadata."""
+    parts: List[str] = [figure.to_text(), "", f"Paper expectation: {figure.expectation}"]
+    if include_metadata and figure.metadata:
+        parts.extend(["", format_key_values(dict(figure.metadata), title="Parameters:")])
+    if figure.comparisons:
+        parts.append("")
+        for comparison in figure.comparisons:
+            parts.append(comparison_table(comparison))
+            parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def experiment_summary(figures: Iterable[FigureResult]) -> str:
+    """One-line-per-figure summary of which scheduler came out on top."""
+    headers = ["figure", "kind", "winner", "title"]
+    rows = []
+    for figure in figures:
+        if figure.kind == "bars":
+            winner = figure.best_label(lower_is_better=True)
+        elif figure.figure_id in {"fig5", "fig7"}:
+            winner = figure.best_label(lower_is_better=False)
+        else:
+            winner = "-"
+        rows.append([figure.figure_id, figure.kind, winner, figure.title])
+    return format_table(headers, rows, title="Reproduced figures")

@@ -1,0 +1,178 @@
+"""Scheduler-comparison runner.
+
+One :func:`compare_schedulers` call evaluates every requested scheduler on
+the *same* sequence of randomly generated workloads and clusters (the paper's
+"all schedulers were presented with the same set of tasks"), repeats the
+whole simulation ``scale.repeats`` times with fresh workloads, and returns
+per-scheduler summaries of makespan and efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..cluster.topology import heterogeneous_cluster
+from ..schedulers.registry import ALL_SCHEDULER_NAMES, make_scheduler
+from ..sim.simulation import SimulationConfig, SimulationResult, simulate_schedule
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng, spawn_rngs
+from ..workloads.generator import WorkloadSpec, generate_workload
+from .config import ExperimentScale
+from .stats import SampleSummary, summarise
+
+__all__ = ["SchedulerComparison", "ComparisonResult", "compare_schedulers"]
+
+
+@dataclass(frozen=True)
+class SchedulerComparison:
+    """Aggregated outcome of one scheduler over all repeats."""
+
+    scheduler: str
+    makespan: SampleSummary
+    efficiency: SampleSummary
+    mean_response_time: SampleSummary
+    invocations: SampleSummary
+
+    def as_row(self) -> List[object]:
+        """Row used by the reporting tables."""
+        return [
+            self.scheduler,
+            self.makespan.mean,
+            self.makespan.std,
+            self.efficiency.mean,
+            self.efficiency.std,
+        ]
+
+
+@dataclass
+class ComparisonResult:
+    """All schedulers' aggregated results for one experimental condition."""
+
+    condition: Dict[str, object]
+    schedulers: Dict[str, SchedulerComparison]
+    repeats: int
+
+    def makespans(self) -> Dict[str, float]:
+        """Mean makespan per scheduler (insertion order preserved)."""
+        return {name: cmp.makespan.mean for name, cmp in self.schedulers.items()}
+
+    def efficiencies(self) -> Dict[str, float]:
+        """Mean efficiency per scheduler."""
+        return {name: cmp.efficiency.mean for name, cmp in self.schedulers.items()}
+
+    def best_by_makespan(self) -> str:
+        """Name of the scheduler with the lowest mean makespan."""
+        return min(self.schedulers, key=lambda n: self.schedulers[n].makespan.mean)
+
+    def best_by_efficiency(self) -> str:
+        """Name of the scheduler with the highest mean efficiency."""
+        return max(self.schedulers, key=lambda n: self.schedulers[n].efficiency.mean)
+
+    def rank_of(self, scheduler: str, metric: str = "makespan") -> int:
+        """1-based rank of *scheduler* (1 = best) under the given metric."""
+        if metric == "makespan":
+            ordered = sorted(self.schedulers, key=lambda n: self.schedulers[n].makespan.mean)
+        elif metric == "efficiency":
+            ordered = sorted(
+                self.schedulers, key=lambda n: -self.schedulers[n].efficiency.mean
+            )
+        else:
+            raise ConfigurationError(f"unknown metric {metric!r}")
+        return ordered.index(scheduler) + 1
+
+
+def compare_schedulers(
+    workload_spec: WorkloadSpec,
+    scale: ExperimentScale,
+    *,
+    mean_comm_cost: float,
+    scheduler_names: Optional[Sequence[str]] = None,
+    cluster_factory: Optional[Callable[[np.random.Generator], Cluster]] = None,
+    seed: RNGLike = None,
+    condition: Optional[Dict[str, object]] = None,
+    sim_config: Optional[SimulationConfig] = None,
+) -> ComparisonResult:
+    """Run every scheduler on identical workloads and summarise the outcomes.
+
+    Parameters
+    ----------
+    workload_spec:
+        The workload shape (size distribution, arrival process); a fresh task
+        set is drawn from it for every repeat and shared by all schedulers.
+    scale:
+        Experiment scale (processor count, batch size, GA budget, repeats).
+    mean_comm_cost:
+        Mean per-link communication cost of the generated cluster (seconds).
+    scheduler_names:
+        Which schedulers to run; defaults to the paper's seven.
+    cluster_factory:
+        Optional custom cluster builder ``f(rng) -> Cluster``; the default
+        builds a heterogeneous cluster per repeat with the requested mean
+        communication cost.
+    seed:
+        Master seed; per-repeat and per-scheduler streams are derived from it.
+    condition:
+        Free-form description of the experimental condition stored in the
+        result (e.g. ``{"figure": "5", "mean_comm_cost": 20.0}``).
+    """
+    names = list(scheduler_names or ALL_SCHEDULER_NAMES)
+    unknown = [n for n in names if n.upper() not in ALL_SCHEDULER_NAMES]
+    if unknown:
+        raise ConfigurationError(f"unknown schedulers requested: {unknown}")
+
+    master_rng = ensure_rng(seed)
+    per_scheduler: Dict[str, Dict[str, List[float]]] = {
+        name: {"makespan": [], "efficiency": [], "response": [], "invocations": []}
+        for name in names
+    }
+
+    for repeat in range(scale.repeats):
+        workload_rng, cluster_rng, sim_seed_rng, sched_seed_rng = spawn_rngs(master_rng, 4)
+        tasks = generate_workload(workload_spec, workload_rng)
+        if cluster_factory is not None:
+            cluster = cluster_factory(cluster_rng)
+        else:
+            cluster = heterogeneous_cluster(
+                scale.n_processors,
+                mean_comm_cost=mean_comm_cost,
+                rng=cluster_rng,
+            )
+        sim_seed = int(sim_seed_rng.integers(0, 2**31 - 1))
+
+        for name in names:
+            scheduler = make_scheduler(
+                name,
+                n_processors=cluster.n_processors,
+                batch_size=scale.batch_size,
+                max_generations=scale.max_generations,
+                rng=int(sched_seed_rng.integers(0, 2**31 - 1)),
+            )
+            # Every scheduler sees the same workload, cluster and the same
+            # stream of communication-cost noise (identical sim seed).
+            result: SimulationResult = simulate_schedule(
+                scheduler, cluster, tasks, config=sim_config, rng=sim_seed
+            )
+            per_scheduler[name]["makespan"].append(result.makespan)
+            per_scheduler[name]["efficiency"].append(result.efficiency)
+            per_scheduler[name]["response"].append(result.metrics.mean_response_time)
+            per_scheduler[name]["invocations"].append(float(result.scheduler_invocations))
+
+    comparisons = {
+        name: SchedulerComparison(
+            scheduler=name,
+            makespan=summarise(data["makespan"]),
+            efficiency=summarise(data["efficiency"]),
+            mean_response_time=summarise(data["response"]),
+            invocations=summarise(data["invocations"]),
+        )
+        for name, data in per_scheduler.items()
+    }
+    return ComparisonResult(
+        condition=dict(condition or {"mean_comm_cost": mean_comm_cost}),
+        schedulers=comparisons,
+        repeats=scale.repeats,
+    )

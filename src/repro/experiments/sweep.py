@@ -1,0 +1,137 @@
+"""Generic parameter sweeps (used by the ablation benchmarks).
+
+The paper motivates several design choices — cycle crossover, roulette-wheel
+selection, a single re-balance per generation, the dynamic batch size, the
+smoothing factor ν — without always quantifying the alternatives.  These
+helpers sweep one GA or scheduler parameter at a time over a fixed batch
+problem so the benchmarks can report how much each choice matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.topology import heterogeneous_cluster
+from ..ga.engine import GAConfig, GAResult, GeneticAlgorithm
+from ..ga.problem import BatchProblem
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng, spawn_rngs
+from ..workloads.generator import generate_workload
+from ..workloads.suites import normal_paper_workload
+from .config import ExperimentScale, default_scale
+from .stats import SampleSummary, summarise
+
+__all__ = ["SweepPoint", "SweepResult", "make_benchmark_problem", "sweep_ga_parameter"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Aggregated GA outcome for one value of the swept parameter."""
+
+    value: object
+    makespan: SampleSummary
+    reduction: SampleSummary
+    generations: SampleSummary
+    wall_time: SampleSummary
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a one-parameter sweep."""
+
+    parameter: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def values(self) -> List[object]:
+        """The swept parameter values, in sweep order."""
+        return [p.value for p in self.points]
+
+    def best_value(self) -> object:
+        """Parameter value achieving the lowest mean makespan."""
+        best = min(self.points, key=lambda p: p.makespan.mean)
+        return best.value
+
+    def makespans(self) -> Dict[object, float]:
+        """Mean makespan per parameter value."""
+        return {p.value: p.makespan.mean for p in self.points}
+
+
+def make_benchmark_problem(
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    *,
+    n_tasks: Optional[int] = None,
+) -> BatchProblem:
+    """A representative batch problem (normal workload, heterogeneous cluster)."""
+    scale = scale or default_scale()
+    rng = ensure_rng(seed)
+    workload_rng, cluster_rng = spawn_rngs(rng, 2)
+    spec = normal_paper_workload(n_tasks or scale.batch_size)
+    tasks = generate_workload(spec, workload_rng)
+    cluster = heterogeneous_cluster(
+        scale.n_processors, mean_comm_cost=scale.bar_comm_cost_mean, rng=cluster_rng
+    )
+    return BatchProblem.from_tasks(
+        list(tasks),
+        rates=cluster.current_rates(0.0),
+        comm_costs=cluster.network.mean_costs(0.0),
+    )
+
+
+def sweep_ga_parameter(
+    parameter: str,
+    values: Sequence[object],
+    *,
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    base_config: Optional[GAConfig] = None,
+    repeats: Optional[int] = None,
+) -> SweepResult:
+    """Sweep one :class:`~repro.ga.engine.GAConfig` field over *values*.
+
+    Every value is evaluated on freshly generated (but per-repeat identical
+    across values) batch problems, and the best makespan, the fractional
+    makespan reduction, the generations used and the wall time are summarised.
+    """
+    scale = scale or default_scale()
+    repeats = repeats or scale.repeats
+    if repeats <= 0:
+        raise ConfigurationError("repeats must be positive")
+    rng = ensure_rng(seed)
+    base = base_config or GAConfig(
+        population_size=20,
+        max_generations=scale.convergence_generations,
+        n_rebalances=1,
+    )
+    if not hasattr(base, parameter):
+        raise ConfigurationError(f"GAConfig has no field named {parameter!r}")
+
+    # Pre-draw one problem and one GA seed per repeat so every swept value sees
+    # identical conditions.
+    problems = [make_benchmark_problem(scale, rng) for _ in range(repeats)]
+    ga_seeds = [int(ensure_rng(rng).integers(0, 2**31 - 1)) for _ in range(repeats)]
+
+    result = SweepResult(parameter=parameter)
+    for value in values:
+        config_kwargs = {**base.__dict__, parameter: value}
+        config = GAConfig(**config_kwargs)
+        makespans, reductions, generations, wall_times = [], [], [], []
+        for problem, ga_seed in zip(problems, ga_seeds):
+            ga_result: GAResult = GeneticAlgorithm(config, rng=ga_seed).evolve(problem)
+            makespans.append(ga_result.best_makespan)
+            reductions.append(ga_result.reduction_fraction)
+            generations.append(float(ga_result.generations))
+            wall_times.append(ga_result.wall_time_seconds)
+        result.points.append(
+            SweepPoint(
+                value=value,
+                makespan=summarise(makespans),
+                reduction=summarise(reductions),
+                generations=summarise(generations),
+                wall_time=summarise(wall_times),
+            )
+        )
+    return result

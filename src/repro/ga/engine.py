@@ -1,0 +1,356 @@
+"""The genetic-algorithm engine (Fig. 1 and Sect. 3.3–3.5 of the paper).
+
+One :class:`GeneticAlgorithm` run maps a single batch of tasks onto processor
+queues.  Each generation performs, in order:
+
+1. fitness evaluation of the current population (relative error vs ψ);
+2. the re-balancing heuristic on every individual (``n_rebalances`` times,
+   accepted only when the schedule's error improves);
+3. bookkeeping of the best individual (lowest makespan) and the stopping
+   tests (target makespan reached, external stop signal such as "a processor
+   is about to become idle", generation limit, wall-clock limit);
+4. construction of the next generation by roulette-wheel selection, cycle
+   crossover and random swap mutation, with elitism re-inserting the best
+   individual found so far.
+"""
+
+from __future__ import annotations
+
+import enum
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng
+from ..util.timing import TimingRecorder
+from ..util.validation import (
+    require_at_least,
+    require_non_negative,
+    require_positive_int,
+    require_probability,
+)
+from .crossover import CrossoverOperator, CycleCrossover, crossover_from_name
+from .encoding import chromosome_from_queues, decode_assignment, decode_queues
+from .fitness import FitnessResult, evaluate_assignments
+from .mutation import rebalance_many, swap_mutation
+from .population import random_population, seeded_population
+from .problem import BatchProblem
+from .selection import RouletteWheelSelection, SelectionOperator, selection_from_name
+
+__all__ = ["GAConfig", "GAResult", "GAStopReason", "GeneticAlgorithm"]
+
+
+class GAStopReason(enum.Enum):
+    """Why the GA stopped evolving."""
+
+    MAX_GENERATIONS = "max_generations"
+    TARGET_MAKESPAN = "target_makespan"
+    EXTERNAL_STOP = "external_stop"
+    TIME_LIMIT = "time_limit"
+
+
+@dataclass
+class GAConfig:
+    """Tunable parameters of the GA.
+
+    Defaults follow the paper: a micro-GA population of 20 individuals, at
+    most 1000 generations, cycle crossover, roulette-wheel selection, a single
+    re-balance per individual per generation with at most five probes, and a
+    list-scheduling seeded initial population.
+    """
+
+    population_size: int = 20
+    max_generations: int = 1000
+    crossover_rate: float = 0.8
+    mutation_rate: float = 0.4
+    swaps_per_mutation: int = 1
+    n_rebalances: int = 1
+    rebalance_probes: int = 5
+    random_init_fraction: float = 0.5
+    seeded_initialisation: bool = True
+    elitism: int = 1
+    target_makespan: Optional[float] = None
+    time_limit_seconds: Optional[float] = None
+    selection: Union[str, SelectionOperator] = "roulette"
+    crossover: Union[str, CrossoverOperator] = "cycle"
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.population_size, "population_size")
+        if self.population_size < 2:
+            raise ConfigurationError("population_size must be at least 2")
+        require_positive_int(self.max_generations, "max_generations")
+        require_probability(self.crossover_rate, "crossover_rate")
+        require_probability(self.mutation_rate, "mutation_rate")
+        require_at_least(self.swaps_per_mutation, 1, "swaps_per_mutation")
+        require_at_least(self.n_rebalances, 0, "n_rebalances")
+        require_positive_int(self.rebalance_probes, "rebalance_probes")
+        require_probability(self.random_init_fraction, "random_init_fraction")
+        require_at_least(self.elitism, 0, "elitism")
+        if self.elitism >= self.population_size:
+            raise ConfigurationError("elitism must be smaller than the population size")
+        if self.target_makespan is not None:
+            require_non_negative(self.target_makespan, "target_makespan")
+        if self.time_limit_seconds is not None:
+            require_non_negative(self.time_limit_seconds, "time_limit_seconds")
+
+    def selection_operator(self) -> SelectionOperator:
+        """The configured selection operator instance."""
+        if isinstance(self.selection, SelectionOperator):
+            return self.selection
+        return selection_from_name(self.selection)
+
+    def crossover_operator(self) -> CrossoverOperator:
+        """The configured crossover operator instance."""
+        if isinstance(self.crossover, CrossoverOperator):
+            return self.crossover
+        return crossover_from_name(self.crossover)
+
+
+@dataclass
+class GAResult:
+    """Outcome of one GA run over a batch.
+
+    ``best_queues`` translates the internal task indices back into the task
+    ids of the batch, ready to be appended to the master's per-processor
+    queues.
+    """
+
+    best_assignment: np.ndarray
+    best_queues: List[List[int]]
+    best_makespan: float
+    best_error: float
+    best_fitness: float
+    initial_best_makespan: float
+    psi: float
+    generations: int
+    stop_reason: GAStopReason
+    makespan_history: List[float]
+    mean_fitness_history: List[float]
+    wall_time_seconds: float
+    timings: TimingRecorder = field(default_factory=TimingRecorder, repr=False)
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Fractional makespan reduction relative to the initial population's best.
+
+        A value of 0.25 means the final makespan is 75 % of the initial best —
+        the quantity plotted in the paper's Fig. 3.
+        """
+        if self.initial_best_makespan <= 0:
+            return 0.0
+        return 1.0 - self.best_makespan / self.initial_best_makespan
+
+    def reduction_history(self) -> np.ndarray:
+        """Per-generation fractional reduction relative to the initial best."""
+        history = np.asarray(self.makespan_history, dtype=float)
+        if self.initial_best_makespan <= 0 or history.size == 0:
+            return np.zeros_like(history)
+        return 1.0 - history / self.initial_best_makespan
+
+
+class GeneticAlgorithm:
+    """GA engine mapping one batch of tasks onto processor queues."""
+
+    def __init__(self, config: Optional[GAConfig] = None, rng: RNGLike = None):
+        self.config = config or GAConfig()
+        self._rng = ensure_rng(rng)
+        self._selection = self.config.selection_operator()
+        self._crossover = self.config.crossover_operator()
+
+    # -- population helpers ---------------------------------------------------------
+    def _initial_population(self, problem: BatchProblem) -> np.ndarray:
+        if self.config.seeded_initialisation:
+            return seeded_population(
+                problem,
+                self.config.population_size,
+                random_fraction=self.config.random_init_fraction,
+                rng=self._rng,
+            )
+        return random_population(problem, self.config.population_size, rng=self._rng)
+
+    def _decode_all(self, population: np.ndarray, problem: BatchProblem) -> np.ndarray:
+        return np.vstack(
+            [
+                decode_assignment(chrom, problem.n_tasks, problem.n_processors)
+                for chrom in population
+            ]
+        )
+
+    @staticmethod
+    def _apply_task_swap(chromosome: np.ndarray, task_a: int, task_b: int) -> None:
+        """Swap the chromosome positions of two task genes, in place."""
+        pos_a = int(np.nonzero(chromosome == task_a)[0][0])
+        pos_b = int(np.nonzero(chromosome == task_b)[0][0])
+        chromosome[pos_a], chromosome[pos_b] = chromosome[pos_b], chromosome[pos_a]
+
+    # -- main loop --------------------------------------------------------------------
+    def evolve(
+        self,
+        problem: BatchProblem,
+        stop_callback: Optional[Callable[[int, float], bool]] = None,
+    ) -> GAResult:
+        """Run the GA on *problem* and return the best schedule found.
+
+        Parameters
+        ----------
+        problem:
+            The batch problem to map.
+        stop_callback:
+            Optional predicate ``f(generation, elapsed_seconds) -> bool``; when
+            it returns True the GA stops and returns the best schedule found so
+            far.  The simulator uses this to emulate the paper's "stop when a
+            processor becomes idle" condition.
+        """
+        cfg = self.config
+        timings = TimingRecorder()
+        start = _time.perf_counter()
+
+        with timings.measure("initialisation"):
+            population = self._initial_population(problem)
+
+        best_chromosome: Optional[np.ndarray] = None
+        best_makespan = np.inf
+        best_error = np.inf
+        best_fitness = 0.0
+        initial_best: Optional[float] = None
+        makespan_history: List[float] = []
+        mean_fitness_history: List[float] = []
+        stop_reason = GAStopReason.MAX_GENERATIONS
+        generation = 0
+
+        while generation < cfg.max_generations:
+            generation += 1
+
+            with timings.measure("decode"):
+                assignments = self._decode_all(population, problem)
+            with timings.measure("fitness"):
+                result = evaluate_assignments(assignments, problem)
+
+            # The reference point for "reduction in makespan" (Fig. 3) is the best
+            # individual of the initial population before any re-balancing.
+            if initial_best is None:
+                initial_best = float(result.makespans[result.best_index])
+
+            # Track the best individual seen before re-balancing too, so the
+            # returned schedule is never worse than any individual evaluated.
+            pre_best = result.best_index
+            if result.makespans[pre_best] < best_makespan:
+                best_makespan = float(result.makespans[pre_best])
+                best_error = float(result.errors[pre_best])
+                best_fitness = float(result.fitness[pre_best])
+                best_chromosome = population[pre_best].copy()
+
+            # Re-balancing heuristic (Sect. 3.5): applied to every individual.
+            if cfg.n_rebalances > 0:
+                with timings.measure("rebalance"):
+                    for idx in range(population.shape[0]):
+                        outcome = rebalance_many(
+                            assignments[idx],
+                            result.completions[idx],
+                            problem,
+                            cfg.n_rebalances,
+                            rng=self._rng,
+                            max_probes=cfg.rebalance_probes,
+                        )
+                        if outcome.improved:
+                            # Mirror accepted swaps back into the chromosome so
+                            # crossover keeps operating on consistent genomes.
+                            changed = np.nonzero(outcome.assignment != assignments[idx])[0]
+                            if changed.size == 2:
+                                self._apply_task_swap(
+                                    population[idx], int(changed[0]), int(changed[1])
+                                )
+                            else:  # several sequential swaps: rebuild via queues
+                                queues = [[] for _ in range(problem.n_processors)]
+                                for t_index, proc in enumerate(outcome.assignment):
+                                    queues[int(proc)].append(int(t_index))
+                                population[idx] = chromosome_from_queues(
+                                    queues, problem.n_tasks
+                                )
+                            assignments[idx] = outcome.assignment
+                    result = evaluate_assignments(assignments, problem)
+
+            # Track the best individual by makespan (Sect. 3.4).
+            gen_best = result.best_index
+            if result.makespans[gen_best] < best_makespan:
+                best_makespan = float(result.makespans[gen_best])
+                best_error = float(result.errors[gen_best])
+                best_fitness = float(result.fitness[gen_best])
+                best_chromosome = population[gen_best].copy()
+            makespan_history.append(best_makespan)
+            mean_fitness_history.append(float(result.fitness.mean()))
+
+            elapsed = _time.perf_counter() - start
+
+            # -- stopping conditions (Sect. 3.4) --------------------------------------
+            if cfg.target_makespan is not None and best_makespan <= cfg.target_makespan:
+                stop_reason = GAStopReason.TARGET_MAKESPAN
+                break
+            if stop_callback is not None and stop_callback(generation, elapsed):
+                stop_reason = GAStopReason.EXTERNAL_STOP
+                break
+            if cfg.time_limit_seconds is not None and elapsed >= cfg.time_limit_seconds:
+                stop_reason = GAStopReason.TIME_LIMIT
+                break
+            if generation >= cfg.max_generations:
+                stop_reason = GAStopReason.MAX_GENERATIONS
+                break
+
+            # -- next generation --------------------------------------------------------
+            with timings.measure("selection"):
+                parent_indices = self._selection.select(
+                    result.fitness, cfg.population_size, rng=self._rng
+                )
+                parents = population[parent_indices].copy()
+
+            with timings.measure("crossover"):
+                children = parents
+                for i in range(0, cfg.population_size - 1, 2):
+                    if self._rng.random() < cfg.crossover_rate:
+                        child_a, child_b = self._crossover.cross(
+                            parents[i], parents[i + 1], rng=self._rng
+                        )
+                        children[i] = child_a
+                        children[i + 1] = child_b
+
+            with timings.measure("mutation"):
+                for i in range(cfg.population_size):
+                    if self._rng.random() < cfg.mutation_rate:
+                        children[i] = swap_mutation(
+                            children[i], rng=self._rng, n_swaps=cfg.swaps_per_mutation
+                        )
+
+            # Elitism: re-insert the best chromosome(s) found so far.
+            if cfg.elitism > 0 and best_chromosome is not None:
+                for slot in range(cfg.elitism):
+                    children[slot] = best_chromosome.copy()
+
+            population = children
+
+        assert best_chromosome is not None and initial_best is not None
+        best_assignment = decode_assignment(
+            best_chromosome, problem.n_tasks, problem.n_processors
+        )
+        queues_by_index = decode_queues(best_chromosome, problem.n_processors)
+        best_queues = [
+            [int(problem.task_ids[task_index]) for task_index in queue]
+            for queue in queues_by_index
+        ]
+        return GAResult(
+            best_assignment=best_assignment,
+            best_queues=best_queues,
+            best_makespan=best_makespan,
+            best_error=best_error,
+            best_fitness=best_fitness,
+            initial_best_makespan=initial_best,
+            psi=problem.optimal_time(),
+            generations=generation,
+            stop_reason=stop_reason,
+            makespan_history=makespan_history,
+            mean_fitness_history=mean_fitness_history,
+            wall_time_seconds=_time.perf_counter() - start,
+            timings=timings,
+        )

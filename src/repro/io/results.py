@@ -1,0 +1,185 @@
+"""Persistence of experiment results (JSON and CSV).
+
+The experiment harness can take minutes to hours at paper scale, so its
+outputs need to be storable and re-loadable without re-running anything.
+Figure results round-trip through JSON; the tabular views (series tables,
+scheduler comparisons) export to CSV for spreadsheet or plotting pipelines.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..experiments.figures import FigureResult
+from ..experiments.runner import ComparisonResult
+from ..util.errors import ConfigurationError
+
+__all__ = [
+    "figure_to_dict",
+    "figure_from_dict",
+    "save_figure_json",
+    "load_figure_json",
+    "figure_to_csv",
+    "comparison_to_csv",
+    "save_all_figures",
+]
+
+#: Version stamp embedded in every serialised figure, so future format changes
+#: can be detected when loading.
+FORMAT_VERSION = 1
+
+
+def figure_to_dict(figure: FigureResult) -> Dict:
+    """Convert a figure result to a JSON-serialisable dictionary.
+
+    The underlying per-condition comparison objects are summarised (means and
+    standard deviations only); the full sample lists are not retained.
+    """
+    comparisons = []
+    for comparison in figure.comparisons:
+        comparisons.append(
+            {
+                "condition": comparison.condition,
+                "repeats": comparison.repeats,
+                "schedulers": {
+                    name: {
+                        "makespan_mean": cmp.makespan.mean,
+                        "makespan_std": cmp.makespan.std,
+                        "efficiency_mean": cmp.efficiency.mean,
+                        "efficiency_std": cmp.efficiency.std,
+                    }
+                    for name, cmp in comparison.schedulers.items()
+                },
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "kind": figure.kind,
+        "x_name": figure.x_name,
+        "x_values": list(map(float, figure.x_values)),
+        "series": {name: list(map(float, values)) for name, values in figure.series.items()},
+        "expectation": figure.expectation,
+        "metadata": dict(figure.metadata),
+        "comparison_summaries": comparisons,
+    }
+
+
+def figure_from_dict(payload: Dict) -> FigureResult:
+    """Rebuild a :class:`FigureResult` from :func:`figure_to_dict` output.
+
+    The comparison summaries are kept in ``metadata["comparison_summaries"]``
+    rather than re-hydrated into runner objects.
+    """
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported figure format version {version!r} (expected {FORMAT_VERSION})"
+        )
+    metadata = dict(payload.get("metadata", {}))
+    if payload.get("comparison_summaries"):
+        metadata["comparison_summaries"] = payload["comparison_summaries"]
+    return FigureResult(
+        figure_id=payload["figure_id"],
+        title=payload["title"],
+        kind=payload["kind"],
+        x_name=payload["x_name"],
+        x_values=list(payload["x_values"]),
+        series={name: list(values) for name, values in payload["series"].items()},
+        expectation=payload.get("expectation", ""),
+        metadata=metadata,
+        comparisons=[],
+    )
+
+
+def save_figure_json(figure: FigureResult, path: Union[str, os.PathLike]) -> str:
+    """Write a figure result to *path* as pretty-printed JSON; returns the path."""
+    payload = figure_to_dict(figure)
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_figure_json(path: Union[str, os.PathLike]) -> FigureResult:
+    """Load a figure result previously written by :func:`save_figure_json`."""
+    with open(os.fspath(path), "r", encoding="utf8") as handle:
+        payload = json.load(handle)
+    return figure_from_dict(payload)
+
+
+def figure_to_csv(figure: FigureResult) -> str:
+    """Render a figure's data as CSV text.
+
+    Series figures produce one row per x value with one column per series;
+    bar figures produce one row per scheduler.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    if figure.kind == "bars":
+        writer.writerow(["scheduler", "value"])
+        for name, value in figure.bar_values().items():
+            writer.writerow([name, value])
+    else:
+        writer.writerow([figure.x_name, *figure.series.keys()])
+        for i, x in enumerate(figure.x_values):
+            writer.writerow([x, *[figure.series[name][i] for name in figure.series]])
+    return buffer.getvalue()
+
+
+def comparison_to_csv(comparison: ComparisonResult) -> str:
+    """Render one scheduler comparison as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "scheduler",
+            "makespan_mean",
+            "makespan_std",
+            "efficiency_mean",
+            "efficiency_std",
+            "repeats",
+        ]
+    )
+    for name, cmp in comparison.schedulers.items():
+        writer.writerow(
+            [
+                name,
+                cmp.makespan.mean,
+                cmp.makespan.std,
+                cmp.efficiency.mean,
+                cmp.efficiency.std,
+                comparison.repeats,
+            ]
+        )
+    return buffer.getvalue()
+
+
+def save_all_figures(
+    figures: Iterable[FigureResult],
+    directory: Union[str, os.PathLike],
+    *,
+    csv_too: bool = True,
+) -> List[str]:
+    """Write every figure to *directory* as JSON (and optionally CSV).
+
+    Returns the list of file paths written.
+    """
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for figure in figures:
+        json_path = os.path.join(directory, f"{figure.figure_id}.json")
+        written.append(save_figure_json(figure, json_path))
+        if csv_too:
+            csv_path = os.path.join(directory, f"{figure.figure_id}.csv")
+            with open(csv_path, "w", encoding="utf8") as handle:
+                handle.write(figure_to_csv(figure))
+            written.append(csv_path)
+    return written

@@ -1,0 +1,26 @@
+"""Max-min (MX) batch-mode heuristic scheduler.
+
+MX is min-min with the opposite sort order: the batch is sorted by size in
+*descending* order so the largest tasks are placed first and the small tasks
+fill the remaining gaps (Sect. 4.1).  This works well when a few huge tasks
+dominate the workload but performs poorly when tasks are small and uniform
+(the paper's Fig. 10).  Complexity Θ(max(M, n log n)) per batch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .min_min import MinMinScheduler
+
+__all__ = ["MaxMinScheduler"]
+
+
+class MaxMinScheduler(MinMinScheduler):
+    """Largest-task-first batch heuristic using earliest-finish placement."""
+
+    name = "MX"
+    descending = True
+
+    def __init__(self, batch_size: Optional[int] = 200):
+        super().__init__(batch_size)

@@ -1,0 +1,32 @@
+"""Discrete-event simulation of the master/worker dispatch protocol."""
+
+from .engine import DiscreteEventEngine, EventQueue
+from .events import Event, EventKind
+from .master import Master
+from .metrics import ProcessorStats, SimulationMetrics, compute_metrics
+from .simulation import (
+    DistributedSystemSimulation,
+    SimulationConfig,
+    SimulationResult,
+    simulate_schedule,
+)
+from .trace import ExecutionTrace, TaskRecord
+from .worker import WorkerState
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "DiscreteEventEngine",
+    "Master",
+    "WorkerState",
+    "TaskRecord",
+    "ExecutionTrace",
+    "ProcessorStats",
+    "SimulationMetrics",
+    "compute_metrics",
+    "SimulationConfig",
+    "SimulationResult",
+    "DistributedSystemSimulation",
+    "simulate_schedule",
+]

@@ -1,0 +1,99 @@
+"""Minimal discrete-event engine: a time-ordered event queue and a run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional
+
+from ..util.errors import SimulationError
+from .events import Event, EventKind
+
+__all__ = ["EventQueue", "DiscreteEventEngine"]
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects ordered by time then insertion."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (raises when empty)."""
+        if not self._heap:
+            raise SimulationError("cannot pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return the earliest event without removing it (raises when empty)."""
+        if not self._heap:
+            raise SimulationError("cannot peek into an empty event queue")
+        return self._heap[0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class DiscreteEventEngine:
+    """Run loop: pops events in time order and dispatches them to handlers.
+
+    Handlers are registered per :class:`EventKind`; each handler receives the
+    event and may push follow-up events through :meth:`schedule`.  The engine
+    enforces that time never goes backwards and guards against runaway event
+    storms with a configurable event budget.
+    """
+
+    def __init__(self, max_events: int = 10_000_000) -> None:
+        if max_events <= 0:
+            raise SimulationError(f"max_events must be positive, got {max_events}")
+        self.queue = EventQueue()
+        self.now = 0.0
+        self.processed_events = 0
+        self.max_events = int(max_events)
+        self._handlers: Dict[EventKind, Callable[[Event], None]] = {}
+
+    def register(self, kind: EventKind, handler: Callable[[Event], None]) -> None:
+        """Register the handler invoked for every event of *kind*."""
+        self._handlers[kind] = handler
+
+    def schedule(self, time: float, kind: EventKind, **data) -> Event:
+        """Create an event at *time* and insert it into the queue."""
+        if time < self.now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule an event at t={time} before the current time {self.now}"
+            )
+        event = Event.make(max(time, self.now), kind, **data)
+        self.queue.push(event)
+        return event
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue empties (or simulated *until* is reached).
+
+        Returns the simulation time of the last processed event.
+        """
+        while self.queue:
+            if until is not None and self.queue.peek().time > until:
+                break
+            event = self.queue.pop()
+            if event.time < self.now - 1e-9:
+                raise SimulationError(
+                    f"event at t={event.time} is earlier than current time {self.now}"
+                )
+            self.now = max(self.now, event.time)
+            handler = self._handlers.get(event.kind)
+            if handler is None:
+                raise SimulationError(f"no handler registered for event kind {event.kind}")
+            handler(event)
+            self.processed_events += 1
+            if self.processed_events > self.max_events:
+                raise SimulationError(
+                    f"event budget of {self.max_events} exceeded; "
+                    "the simulation is likely stuck in an event loop"
+                )
+        return self.now

@@ -1,0 +1,52 @@
+"""Event types of the discrete-event simulation."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..util.errors import SimulationError
+
+__all__ = ["EventKind", "Event"]
+
+
+class EventKind(enum.Enum):
+    """The four kinds of events driving the master/worker simulation."""
+
+    #: A task has arrived at the master and joined the unscheduled queue.
+    TASK_ARRIVAL = "task_arrival"
+    #: The master should run its scheduling policy over the unscheduled queue.
+    INVOKE_SCHEDULER = "invoke_scheduler"
+    #: An idle worker asks the master for the next task in its queue.
+    WORKER_FETCH = "worker_fetch"
+    #: A worker finished processing a task.
+    TASK_COMPLETION = "task_completion"
+
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A single scheduled occurrence in simulated time.
+
+    Events compare by ``(time, seq)`` so simultaneous events retain their
+    insertion order, which keeps the simulation deterministic.
+    """
+
+    time: float
+    seq: int = field(compare=True)
+    kind: EventKind = field(compare=False)
+    data: Dict[str, Any] = field(compare=False, default_factory=dict)
+
+    @classmethod
+    def make(cls, time: float, kind: EventKind, **data: Any) -> "Event":
+        """Create an event with an automatically increasing sequence number."""
+        if time < 0:
+            raise SimulationError(f"event time must be >= 0, got {time}")
+        return cls(time=float(time), seq=next(_sequence), kind=kind, data=dict(data))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Event(t={self.time:.4g}, kind={self.kind.value}, data={self.data})"

@@ -1,0 +1,212 @@
+"""The master (scheduler host) side of the simulated distributed system.
+
+The master owns:
+
+* the FCFS queue of *unscheduled* tasks that have arrived but not yet been
+  mapped to a processor;
+* one *future-task queue per processor* holding assigned-but-not-dispatched
+  tasks (the paper deliberately keeps these at the scheduler rather than on
+  the workers, so that a vanished worker never strands work);
+* the Γ-smoothed observations of per-link communication cost and
+  per-processor effective rate that form the scheduling context shared by
+  every policy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..schedulers.base import ScheduleAssignment, Scheduler, SchedulingContext
+from ..util.errors import SimulationError
+from ..util.rng import RNGLike, ensure_rng
+from ..util.smoothing import SmoothedMap
+from ..workloads.task import Task
+
+__all__ = ["Master"]
+
+
+class Master:
+    """Central scheduling node: holds task queues and invokes the policy."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        n_processors: int,
+        initial_rates: np.ndarray,
+        *,
+        comm_nu: float = 0.5,
+        rate_nu: float = 0.5,
+        rng: RNGLike = None,
+    ):
+        if n_processors <= 0:
+            raise SimulationError(f"n_processors must be positive, got {n_processors}")
+        initial_rates = np.asarray(initial_rates, dtype=float)
+        if initial_rates.shape != (n_processors,):
+            raise SimulationError("initial_rates must have one entry per processor")
+        if np.any(initial_rates <= 0):
+            raise SimulationError("initial processor rates must be positive")
+
+        self.scheduler = scheduler
+        self.n_processors = int(n_processors)
+        self._initial_rates = initial_rates.copy()
+        self._rng = ensure_rng(rng)
+
+        self.unscheduled: Deque[Task] = deque()
+        self.proc_queues: List[Deque[Task]] = [deque() for _ in range(n_processors)]
+        self.pending_loads = np.zeros(n_processors, dtype=float)
+
+        self._comm_estimates = SmoothedMap(nu=comm_nu, default=0.0)
+        self._rate_estimates = SmoothedMap(nu=rate_nu)
+
+        #: Book-keeping: total scheduler invocations and per-invocation batch sizes.
+        self.invocations = 0
+        self.batch_sizes: List[int] = []
+        self._assigned_time: Dict[int, float] = {}
+
+    # -- arrivals -----------------------------------------------------------------------
+    def task_arrived(self, task: Task) -> None:
+        """A new task joins the unscheduled FCFS queue."""
+        self.unscheduled.append(task)
+
+    @property
+    def n_unscheduled(self) -> int:
+        """Number of tasks awaiting assignment."""
+        return len(self.unscheduled)
+
+    def has_unscheduled(self) -> bool:
+        """Whether any task is awaiting assignment."""
+        return bool(self.unscheduled)
+
+    # -- context --------------------------------------------------------------------------
+    def estimated_rates(self) -> np.ndarray:
+        """Per-processor rate estimates: observed history, else the initial rating."""
+        return np.array(
+            [
+                self._rate_estimates.get(p, default=float(self._initial_rates[p]))
+                for p in range(self.n_processors)
+            ],
+            dtype=float,
+        )
+
+    def estimated_comm_costs(self) -> np.ndarray:
+        """Per-link communication estimates from observed dispatches (0 before any)."""
+        return np.array(
+            [self._comm_estimates.get(p) for p in range(self.n_processors)], dtype=float
+        )
+
+    def build_context(self, time: float) -> SchedulingContext:
+        """The snapshot handed to the scheduling policy (identical for all policies)."""
+        return SchedulingContext(
+            time=time,
+            rates=self.estimated_rates(),
+            pending_loads=self.pending_loads.copy(),
+            comm_costs=self.estimated_comm_costs(),
+            rng=self._rng,
+        )
+
+    # -- scheduling ------------------------------------------------------------------------
+    def run_scheduler_once(self, time: float) -> Optional[ScheduleAssignment]:
+        """Run one scheduling invocation over (a batch of) the unscheduled queue.
+
+        Returns the assignment produced, or ``None`` when there was nothing to
+        schedule or the policy asked for an empty batch.
+        """
+        if not self.unscheduled:
+            return None
+        ctx = self.build_context(time)
+        batch_size = self.scheduler.preferred_batch_size(ctx, len(self.unscheduled))
+        if batch_size <= 0:
+            return None
+        batch = [self.unscheduled.popleft() for _ in range(min(batch_size, len(self.unscheduled)))]
+        assignment = self.scheduler.schedule(batch, ctx)
+
+        by_id = {t.task_id: t for t in batch}
+        assigned_ids = set(assignment.task_ids())
+        missing = set(by_id) - assigned_ids
+        if missing:
+            raise SimulationError(
+                f"scheduler {self.scheduler.name} left tasks unassigned: {sorted(missing)}"
+            )
+        unknown = assigned_ids - set(by_id)
+        if unknown:
+            raise SimulationError(
+                f"scheduler {self.scheduler.name} assigned unknown tasks: {sorted(unknown)}"
+            )
+
+        for proc in range(self.n_processors):
+            for task_id in assignment.queue(proc):
+                task = by_id[task_id]
+                self.proc_queues[proc].append(task)
+                self.pending_loads[proc] += task.size_mflops
+                self._assigned_time[task_id] = time
+
+        self.invocations += 1
+        self.batch_sizes.append(len(batch))
+        return assignment
+
+    def schedule_all_available(self, time: float) -> int:
+        """Invoke the policy repeatedly until the unscheduled queue is drained
+        or the policy declines to take more work.
+
+        Immediate-mode policies consume everything in one pass; batch-mode
+        policies are re-invoked while there are still unscheduled tasks *and*
+        at least one processor queue is empty, which mirrors the paper's goal
+        of never letting a processor sit idle while work exists.
+
+        Returns the number of tasks assigned by this call.
+        """
+        from ..schedulers.base import SchedulerMode
+
+        assigned = 0
+        immediate = self.scheduler.mode is SchedulerMode.IMMEDIATE
+        while self.unscheduled:
+            if not immediate:
+                empty_queue_exists = any(len(q) == 0 for q in self.proc_queues)
+                if assigned > 0 and not empty_queue_exists:
+                    break
+            result = self.run_scheduler_once(time)
+            if result is None:
+                break
+            assigned += result.n_tasks
+        return assigned
+
+    # -- queue/dispatch bookkeeping -------------------------------------------------------
+    def pop_task_for(self, proc: int) -> Optional[Task]:
+        """Pop the head of *proc*'s future-task queue (``None`` when empty)."""
+        self._check_proc(proc)
+        if not self.proc_queues[proc]:
+            return None
+        return self.proc_queues[proc].popleft()
+
+    def queue_length(self, proc: int) -> int:
+        """Number of tasks waiting in *proc*'s master-side queue."""
+        self._check_proc(proc)
+        return len(self.proc_queues[proc])
+
+    def assigned_time_of(self, task_id: int) -> float:
+        """Simulation time a task was assigned to a processor queue."""
+        try:
+            return self._assigned_time[task_id]
+        except KeyError:
+            raise SimulationError(f"task {task_id} was never assigned") from None
+
+    def observe_dispatch(self, proc: int, comm_cost: float, time: float) -> None:
+        """Record a measured dispatch cost (updates Γ estimates and notifies the policy)."""
+        self._check_proc(proc)
+        self._comm_estimates.update(proc, float(comm_cost))
+        self.scheduler.observe_communication(proc, comm_cost, time)
+
+    def observe_completion(self, proc: int, task: Task, processing_time: float, time: float) -> None:
+        """Record a task completion (updates load, rate estimates, notifies the policy)."""
+        self._check_proc(proc)
+        self.pending_loads[proc] = max(0.0, self.pending_loads[proc] - task.size_mflops)
+        if processing_time > 0:
+            self._rate_estimates.update(proc, task.size_mflops / processing_time)
+        self.scheduler.observe_completion(proc, task, processing_time, time)
+
+    def _check_proc(self, proc: int) -> None:
+        if not (0 <= proc < self.n_processors):
+            raise SimulationError(f"processor index {proc} out of range [0, {self.n_processors})")

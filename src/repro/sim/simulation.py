@@ -1,0 +1,227 @@
+"""The end-to-end simulation of a scheduler driving a heterogeneous system.
+
+:func:`simulate_schedule` wires together the master (scheduling policy plus
+task queues), one worker per processor, the network model, and the
+discrete-event engine, and returns the paper's metrics (makespan and
+efficiency) together with the full execution trace.
+
+The dispatch protocol follows Sect. 3 of the paper:
+
+1. arriving tasks join the master's unscheduled FCFS queue;
+2. the scheduling policy is invoked to map (batches of) unscheduled tasks
+   onto per-processor queues held at the master;
+3. an idle worker requests its next task; delivering it costs the link's
+   (randomly varying) communication time, after which the worker executes the
+   task at its current effective rate and reports completion;
+4. when a worker's master-side queue runs dry and unscheduled tasks remain,
+   the policy is invoked again — this is what makes batch scheduling
+   *dynamic* and lets the PN scheduler exploit the communication-cost and
+   rate observations accumulated so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..schedulers.base import Scheduler
+from ..util.errors import SimulationError
+from ..util.rng import RNGLike, ensure_rng, spawn_rngs
+from ..workloads.task import Task, TaskSet
+from .engine import DiscreteEventEngine
+from .events import Event, EventKind
+from .master import Master
+from .metrics import SimulationMetrics, compute_metrics
+from .trace import ExecutionTrace, TaskRecord
+from .worker import WorkerState
+
+__all__ = ["SimulationConfig", "SimulationResult", "DistributedSystemSimulation", "simulate_schedule"]
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of the simulated environment (not of any particular scheduler)."""
+
+    #: Smoothing factor of the master's communication-cost observations.
+    comm_nu: float = 0.5
+    #: Smoothing factor of the master's processor-rate observations.
+    rate_nu: float = 0.5
+    #: Hard cap on processed events (guards against event storms).
+    max_events: int = 10_000_000
+    #: Optional simulated-time horizon; ``None`` runs to completion.
+    time_horizon: Optional[float] = None
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one simulated schedule."""
+
+    scheduler_name: str
+    metrics: SimulationMetrics
+    trace: ExecutionTrace
+    scheduler_invocations: int
+    batch_sizes: List[int]
+    n_tasks: int
+    n_processors: int
+
+    @property
+    def makespan(self) -> float:
+        """Total execution time of the schedule (seconds)."""
+        return self.metrics.makespan
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of processor-time spent executing rather than communicating or idling."""
+        return self.metrics.efficiency
+
+
+class DistributedSystemSimulation:
+    """One simulation run: a scheduler, a cluster, and a set of tasks."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        cluster: Cluster,
+        tasks: TaskSet,
+        *,
+        config: Optional[SimulationConfig] = None,
+        rng: RNGLike = None,
+    ):
+        if len(tasks) == 0:
+            raise SimulationError("cannot simulate an empty task set")
+        self.scheduler = scheduler
+        self.cluster = cluster
+        self.tasks = tasks
+        self.config = config or SimulationConfig()
+        master_rng, network_rng = spawn_rngs(rng, 2)
+        self._network_rng = network_rng
+
+        self.engine = DiscreteEventEngine(max_events=self.config.max_events)
+        self.master = Master(
+            scheduler,
+            cluster.n_processors,
+            initial_rates=cluster.current_rates(0.0),
+            comm_nu=self.config.comm_nu,
+            rate_nu=self.config.rate_nu,
+            rng=master_rng,
+        )
+        self.workers = [WorkerState(processor=proc) for proc in cluster.processors]
+        self.trace = ExecutionTrace(cluster.n_processors)
+        self._completed = 0
+        self._scheduler_invocation_pending = False
+
+        self.engine.register(EventKind.TASK_ARRIVAL, self._on_task_arrival)
+        self.engine.register(EventKind.INVOKE_SCHEDULER, self._on_invoke_scheduler)
+        self.engine.register(EventKind.WORKER_FETCH, self._on_worker_fetch)
+        self.engine.register(EventKind.TASK_COMPLETION, self._on_task_completion)
+
+    # -- event handlers ---------------------------------------------------------------
+    def _on_task_arrival(self, event: Event) -> None:
+        task: Task = event.data["task"]
+        self.master.task_arrived(task)
+        self._request_scheduling(event.time)
+
+    def _request_scheduling(self, time: float) -> None:
+        if not self._scheduler_invocation_pending:
+            self._scheduler_invocation_pending = True
+            self.engine.schedule(time, EventKind.INVOKE_SCHEDULER)
+
+    def _on_invoke_scheduler(self, event: Event) -> None:
+        self._scheduler_invocation_pending = False
+        assigned = self.master.schedule_all_available(event.time)
+        if assigned == 0:
+            return
+        # Wake every idle worker whose queue now has work.
+        for worker in self.workers:
+            if not worker.is_busy and self.master.queue_length(worker.proc_id) > 0:
+                self.engine.schedule(event.time, EventKind.WORKER_FETCH, proc=worker.proc_id)
+
+    def _on_worker_fetch(self, event: Event) -> None:
+        proc = int(event.data["proc"])
+        worker = self.workers[proc]
+        if worker.is_busy:
+            return  # stale wake-up: the worker already fetched something
+        task = self.master.pop_task_for(proc)
+        if task is None:
+            # Queue ran dry: ask for more work if any remains unscheduled.
+            if self.master.has_unscheduled():
+                self._request_scheduling(event.time)
+            return
+        comm_cost = self.cluster.network.sample_cost(proc, self._network_rng, time=event.time)
+        completion_time = worker.start_task(task, event.time, comm_cost)
+        self.master.observe_dispatch(proc, comm_cost, event.time)
+        self.engine.schedule(
+            completion_time,
+            EventKind.TASK_COMPLETION,
+            proc=proc,
+            task=task,
+            dispatch_time=event.time,
+            comm_cost=comm_cost,
+        )
+
+    def _on_task_completion(self, event: Event) -> None:
+        proc = int(event.data["proc"])
+        task: Task = event.data["task"]
+        dispatch_time: float = event.data["dispatch_time"]
+        comm_cost: float = event.data["comm_cost"]
+        worker = self.workers[proc]
+        worker.finish_task(event.time)
+
+        exec_start = dispatch_time + comm_cost
+        exec_seconds = event.time - exec_start
+        worker.record_execution(exec_seconds)
+        self.master.observe_completion(proc, task, exec_seconds, event.time)
+        self.trace.add(
+            TaskRecord(
+                task_id=task.task_id,
+                proc_id=proc,
+                size_mflops=task.size_mflops,
+                arrival_time=task.arrival_time,
+                assigned_time=self.master.assigned_time_of(task.task_id),
+                dispatch_time=dispatch_time,
+                exec_start=exec_start,
+                exec_end=event.time,
+            )
+        )
+        self._completed += 1
+        # Fetch the next task (or trigger another scheduling round).
+        self.engine.schedule(event.time, EventKind.WORKER_FETCH, proc=proc)
+
+    # -- run -------------------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion and return metrics plus trace."""
+        self.scheduler.reset()
+        for task in self.tasks:
+            self.engine.schedule(task.arrival_time, EventKind.TASK_ARRIVAL, task=task)
+        self.engine.run(until=self.config.time_horizon)
+
+        if self.config.time_horizon is None and self._completed != len(self.tasks):
+            raise SimulationError(
+                f"simulation finished with {self._completed}/{len(self.tasks)} tasks completed"
+            )
+        metrics = compute_metrics(self.trace)
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            metrics=metrics,
+            trace=self.trace,
+            scheduler_invocations=self.master.invocations,
+            batch_sizes=list(self.master.batch_sizes),
+            n_tasks=len(self.tasks),
+            n_processors=self.cluster.n_processors,
+        )
+
+
+def simulate_schedule(
+    scheduler: Scheduler,
+    cluster: Cluster,
+    tasks: TaskSet,
+    *,
+    config: Optional[SimulationConfig] = None,
+    rng: RNGLike = None,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`DistributedSystemSimulation` and run it."""
+    simulation = DistributedSystemSimulation(scheduler, cluster, tasks, config=config, rng=rng)
+    return simulation.run()

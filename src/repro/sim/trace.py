@@ -1,0 +1,144 @@
+"""Execution traces: per-task dispatch/execution records and Gantt extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..util.errors import SimulationError
+
+__all__ = ["TaskRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Everything the simulator recorded about one task's life cycle.
+
+    Times are absolute simulation seconds.  ``dispatch_time`` is when the
+    worker popped the task from its master-side queue; communication occupies
+    ``[dispatch_time, exec_start)`` and execution ``[exec_start, exec_end)``.
+    """
+
+    task_id: int
+    proc_id: int
+    size_mflops: float
+    arrival_time: float
+    assigned_time: float
+    dispatch_time: float
+    exec_start: float
+    exec_end: float
+
+    def __post_init__(self) -> None:
+        if not (
+            self.arrival_time <= self.assigned_time + 1e-9
+            and self.assigned_time <= self.dispatch_time + 1e-9
+            and self.dispatch_time <= self.exec_start + 1e-9
+            and self.exec_start <= self.exec_end + 1e-9
+        ):
+            raise SimulationError(
+                f"task {self.task_id}: inconsistent record times "
+                f"(arrival={self.arrival_time}, assigned={self.assigned_time}, "
+                f"dispatch={self.dispatch_time}, start={self.exec_start}, end={self.exec_end})"
+            )
+
+    @property
+    def comm_time(self) -> float:
+        """Seconds spent transferring the task to its worker."""
+        return self.exec_start - self.dispatch_time
+
+    @property
+    def exec_time(self) -> float:
+        """Seconds spent executing the task."""
+        return self.exec_end - self.exec_start
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds between assignment to a processor queue and dispatch."""
+        return self.dispatch_time - self.assigned_time
+
+    @property
+    def response_time(self) -> float:
+        """Seconds between arrival at the scheduler and completion."""
+        return self.exec_end - self.arrival_time
+
+
+class ExecutionTrace:
+    """An ordered collection of :class:`TaskRecord` objects with query helpers."""
+
+    def __init__(self, n_processors: int):
+        if n_processors <= 0:
+            raise SimulationError(f"n_processors must be positive, got {n_processors}")
+        self.n_processors = int(n_processors)
+        self._records: List[TaskRecord] = []
+
+    def add(self, record: TaskRecord) -> None:
+        """Append one task record (records need not be added in time order)."""
+        if not (0 <= record.proc_id < self.n_processors):
+            raise SimulationError(
+                f"record references processor {record.proc_id} outside [0, {self.n_processors})"
+            )
+        self._records.append(record)
+
+    # -- container protocol ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> List[TaskRecord]:
+        """All records in insertion order."""
+        return list(self._records)
+
+    # -- queries ----------------------------------------------------------------------
+    def records_for(self, proc_id: int) -> List[TaskRecord]:
+        """Records of tasks executed on *proc_id*, ordered by execution start."""
+        return sorted(
+            (r for r in self._records if r.proc_id == proc_id), key=lambda r: r.exec_start
+        )
+
+    def record_of(self, task_id: int) -> TaskRecord:
+        """The record of a specific task (raises if the task never completed)."""
+        for record in self._records:
+            if record.task_id == task_id:
+                return record
+        raise SimulationError(f"no record for task {task_id}")
+
+    def completion_time(self) -> float:
+        """Time the last task finished (0.0 for an empty trace)."""
+        return max((r.exec_end for r in self._records), default=0.0)
+
+    def first_dispatch_time(self) -> float:
+        """Time the first task was dispatched (0.0 for an empty trace)."""
+        return min((r.dispatch_time for r in self._records), default=0.0)
+
+    def busy_seconds(self) -> np.ndarray:
+        """Execution seconds accumulated per processor."""
+        busy = np.zeros(self.n_processors, dtype=float)
+        for record in self._records:
+            busy[record.proc_id] += record.exec_time
+        return busy
+
+    def comm_seconds(self) -> np.ndarray:
+        """Communication seconds accumulated per processor."""
+        comm = np.zeros(self.n_processors, dtype=float)
+        for record in self._records:
+            comm[record.proc_id] += record.comm_time
+        return comm
+
+    def tasks_per_processor(self) -> np.ndarray:
+        """Number of tasks completed per processor."""
+        counts = np.zeros(self.n_processors, dtype=int)
+        for record in self._records:
+            counts[record.proc_id] += 1
+        return counts
+
+    def gantt(self) -> List[List[Tuple[float, float, int]]]:
+        """Per-processor list of ``(exec_start, exec_end, task_id)`` intervals."""
+        chart: List[List[Tuple[float, float, int]]] = [[] for _ in range(self.n_processors)]
+        for record in sorted(self._records, key=lambda r: r.exec_start):
+            chart[record.proc_id].append((record.exec_start, record.exec_end, record.task_id))
+        return chart

@@ -1,0 +1,87 @@
+"""The worker (client processor) side of the simulated distributed system.
+
+A worker repeatedly asks the master for the next task in its queue, pays the
+link's communication cost to receive it, executes it at its current
+effective rate, and reports back.  Workers never hold more than the task
+they are currently processing (paper Sect. 3: "A processor does not contain
+a queue of tasks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster.processor import Processor
+from ..util.errors import SimulationError
+from ..workloads.task import Task
+
+__all__ = ["WorkerState"]
+
+
+@dataclass
+class WorkerState:
+    """Dynamic state of one worker during a simulation."""
+
+    processor: Processor
+    busy_until: float = 0.0
+    current_task: Optional[Task] = None
+    tasks_completed: int = 0
+    busy_seconds: float = 0.0
+    comm_seconds: float = 0.0
+
+    @property
+    def proc_id(self) -> int:
+        """Identifier of the underlying processor."""
+        return self.processor.proc_id
+
+    @property
+    def is_busy(self) -> bool:
+        """Whether the worker is currently receiving or executing a task."""
+        return self.current_task is not None
+
+    def start_task(self, task: Task, now: float, comm_cost: float) -> float:
+        """Begin receiving and executing *task* at time *now*.
+
+        Returns the completion time.  The execution rate is the processor's
+        effective rate at the moment execution starts (after the communication
+        delay), which is how availability variation feeds into task durations.
+        """
+        if self.is_busy:
+            raise SimulationError(
+                f"worker {self.proc_id} asked to start task {task.task_id} while busy "
+                f"with task {self.current_task.task_id}"
+            )
+        if comm_cost < 0:
+            raise SimulationError(f"communication cost must be >= 0, got {comm_cost}")
+        exec_start = now + comm_cost
+        rate = self.processor.current_rate(exec_start)
+        if rate <= 0:
+            raise SimulationError(f"worker {self.proc_id} has non-positive rate at t={exec_start}")
+        exec_time = task.size_mflops / rate
+        completion = exec_start + exec_time
+
+        self.current_task = task
+        self.busy_until = completion
+        self.comm_seconds += comm_cost
+        return completion
+
+    def finish_task(self, now: float) -> Task:
+        """Mark the in-flight task as finished at time *now* and return it."""
+        if self.current_task is None:
+            raise SimulationError(f"worker {self.proc_id} has no task to finish")
+        if now + 1e-9 < self.busy_until:
+            raise SimulationError(
+                f"worker {self.proc_id} asked to finish at t={now} before its "
+                f"completion time {self.busy_until}"
+            )
+        task = self.current_task
+        self.current_task = None
+        self.tasks_completed += 1
+        return task
+
+    def record_execution(self, exec_seconds: float) -> None:
+        """Accumulate executed seconds (used for per-worker utilisation stats)."""
+        if exec_seconds < 0:
+            raise SimulationError(f"execution seconds must be >= 0, got {exec_seconds}")
+        self.busy_seconds += exec_seconds

@@ -1,0 +1,67 @@
+"""Shared utilities: errors, RNG handling, smoothing, validation, reporting."""
+
+from .errors import (
+    ConfigurationError,
+    EncodingError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    WorkloadError,
+)
+from .rng import RNGLike, derive_rng, ensure_rng, random_seed, spawn_rngs
+from .smoothing import ExponentialSmoother, SmoothedMap, smooth_sequence
+from .tables import (
+    format_bar_chart,
+    format_key_values,
+    format_series_table,
+    format_table,
+)
+from .timing import Stopwatch, TimingRecorder, timed
+from .validation import (
+    require_at_least,
+    require_finite_array,
+    require_in_range,
+    require_non_negative,
+    require_not_empty,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+__all__ = [
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "EncodingError",
+    "SchedulingError",
+    "SimulationError",
+    "WorkloadError",
+    # rng
+    "RNGLike",
+    "ensure_rng",
+    "spawn_rngs",
+    "derive_rng",
+    "random_seed",
+    # smoothing
+    "ExponentialSmoother",
+    "SmoothedMap",
+    "smooth_sequence",
+    # tables
+    "format_table",
+    "format_series_table",
+    "format_bar_chart",
+    "format_key_values",
+    # timing
+    "Stopwatch",
+    "TimingRecorder",
+    "timed",
+    # validation
+    "require_positive",
+    "require_non_negative",
+    "require_probability",
+    "require_in_range",
+    "require_positive_int",
+    "require_at_least",
+    "require_not_empty",
+    "require_finite_array",
+]

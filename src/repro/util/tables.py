@@ -1,0 +1,137 @@
+"""Plain-text reporting helpers (tables, series and bar charts).
+
+The experiment harness reproduces the paper's figures as *data* rather than
+images: every figure becomes either a set of series (x vs y per scheduler) or
+a set of bars (one value per scheduler).  These helpers render that data as
+aligned ASCII so the harness and the benchmarks can print exactly the rows a
+reader would compare against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = [
+    "format_table",
+    "format_series_table",
+    "format_bar_chart",
+    "format_key_values",
+]
+
+
+def _stringify(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    float_fmt: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` entries.
+    float_fmt:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional single-line title printed above the table.
+    """
+    str_rows = [[_stringify(cell, float_fmt) for cell in row] for row in rows]
+    for i, row in enumerate(str_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[j]) for j, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series_table(
+    x_name: str,
+    x_values: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    float_fmt: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render several y-series sharing one x-axis as a table.
+
+    This matches the layout of the paper's line figures (5 and 7): one row per
+    x value, one column per scheduler.
+    """
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points but there are {len(x_values)} x values"
+            )
+    headers = [x_name, *series.keys()]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x, *[series[name][i] for name in series]])
+    return format_table(headers, rows, float_fmt=float_fmt, title=title)
+
+
+def format_bar_chart(
+    values: Mapping[str, float],
+    *,
+    width: int = 50,
+    float_fmt: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render a labelled horizontal ASCII bar chart.
+
+    Matches the layout of the paper's bar figures (6, 8-11): one bar per
+    scheduler, scaled so the largest value spans *width* characters.
+    """
+    if not values:
+        raise ValueError("bar chart requires at least one value")
+    max_value = max(abs(v) for v in values.values())
+    scale = (width / max_value) if max_value > 0 else 0.0
+    label_width = max(len(k) for k in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, value in values.items():
+        bar = "#" * max(0, int(round(abs(value) * scale)))
+        lines.append(f"{name.ljust(label_width)} | {format(value, float_fmt):>10} | {bar}")
+    return "\n".join(lines)
+
+
+def format_key_values(
+    pairs: Mapping[str, object],
+    *,
+    float_fmt: str = ".4g",
+    title: Optional[str] = None,
+) -> str:
+    """Render a mapping as aligned ``key : value`` lines."""
+    if not pairs:
+        return title or ""
+    key_width = max(len(k) for k in pairs)
+    lines = [] if title is None else [title]
+    for key, value in pairs.items():
+        lines.append(f"{key.ljust(key_width)} : {_stringify(value, float_fmt)}")
+    return "\n".join(lines)

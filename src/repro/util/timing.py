@@ -1,0 +1,106 @@
+"""Wall-clock timing helpers used by the figure-4 style experiments."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Stopwatch", "TimingRecorder", "timed"]
+
+
+class Stopwatch:
+    """A simple restartable wall-clock stopwatch.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> sw.start()
+    >>> _ = sum(range(1000))
+    >>> elapsed = sw.stop()
+    >>> elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) the stopwatch, keeping any accumulated time."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the total accumulated seconds."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self._elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and stop."""
+        self._start = None
+        self._elapsed = 0.0
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated seconds (including the in-flight interval if running)."""
+        extra = 0.0 if self._start is None else time.perf_counter() - self._start
+        return self._elapsed + extra
+
+
+@dataclass
+class TimingRecorder:
+    """Accumulate named timing samples (e.g. 'fitness', 'crossover').
+
+    The GA engine uses one of these to attribute its run time to phases,
+    which the figure-4 reproduction reports alongside the total.
+    """
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Append one timing sample under *name*."""
+        self.samples.setdefault(name, []).append(float(seconds))
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under *name* (0.0 if never recorded)."""
+        return float(sum(self.samples.get(name, ())))
+
+    def count(self, name: str) -> int:
+        """Number of samples recorded under *name*."""
+        return len(self.samples.get(name, ()))
+
+    def grand_total(self) -> float:
+        """Total seconds across all names."""
+        return float(sum(sum(v) for v in self.samples.values()))
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        """Context manager recording the wall time of its body under *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - start)
+
+
+@contextmanager
+def timed() -> Iterator[Stopwatch]:
+    """Context manager yielding a running :class:`Stopwatch`.
+
+    The stopwatch is stopped when the block exits, so ``sw.elapsed`` after the
+    block reports the body's wall time.
+    """
+    sw = Stopwatch().start()
+    try:
+        yield sw
+    finally:
+        sw.stop()

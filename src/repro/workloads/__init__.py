@@ -1,0 +1,62 @@
+"""Workload models: tasks, size distributions, arrival processes, generators."""
+
+from .arrival import (
+    AllAtOnce,
+    ArrivalProcess,
+    BurstArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+    arrival_from_name,
+)
+from .distributions import (
+    BimodalSizes,
+    ConstantSizes,
+    ExponentialSizes,
+    NormalSizes,
+    PoissonSizes,
+    SizeDistribution,
+    UniformSizes,
+    distribution_from_name,
+)
+from .generator import WorkloadGenerator, WorkloadSpec, generate_workload
+from .suites import (
+    normal_paper_workload,
+    paper_workloads,
+    poisson_large_workload,
+    poisson_small_workload,
+    uniform_narrow_workload,
+    uniform_standard_workload,
+    uniform_wide_workload,
+    workload_by_name,
+)
+from .task import Task, TaskSet
+
+__all__ = [
+    "Task",
+    "TaskSet",
+    "SizeDistribution",
+    "UniformSizes",
+    "NormalSizes",
+    "PoissonSizes",
+    "ConstantSizes",
+    "ExponentialSizes",
+    "BimodalSizes",
+    "distribution_from_name",
+    "ArrivalProcess",
+    "AllAtOnce",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "BurstArrivals",
+    "arrival_from_name",
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "generate_workload",
+    "normal_paper_workload",
+    "uniform_narrow_workload",
+    "uniform_standard_workload",
+    "uniform_wide_workload",
+    "poisson_small_workload",
+    "poisson_large_workload",
+    "paper_workloads",
+    "workload_by_name",
+]

@@ -1,0 +1,154 @@
+"""Task arrival processes.
+
+The paper's headline experiments submit every task at the start of the
+simulation (:class:`AllAtOnce`), but the scheduler itself is *dynamic*: it is
+designed for tasks arriving continuously.  The additional arrival processes
+here (Poisson, uniform-over-window, bursty) are used by the dynamic-arrival
+example and by the extension benches.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng
+from ..util.validation import require_non_negative, require_positive, require_positive_int
+
+__all__ = [
+    "ArrivalProcess",
+    "AllAtOnce",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "BurstArrivals",
+    "arrival_from_name",
+]
+
+
+class ArrivalProcess(ABC):
+    """Base class for arrival-time generators."""
+
+    @abstractmethod
+    def times(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        """Return *n* non-decreasing arrival times (seconds from simulation start)."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short human-readable name of the process."""
+
+    def _check_n(self, n: int) -> int:
+        if n < 0:
+            raise ConfigurationError(f"number of arrivals must be >= 0, got {n}")
+        return int(n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"
+
+
+class AllAtOnce(ArrivalProcess):
+    """Every task arrives at the same instant (time ``at``, default 0).
+
+    This is the arrival model of the paper's experiments (Sect. 4.2: "All of
+    the tasks arrived for scheduling at the beginning of the simulation").
+    """
+
+    def __init__(self, at: float = 0.0) -> None:
+        self.at = require_non_negative(at, "arrival instant")
+
+    def times(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        n = self._check_n(n)
+        return np.full(n, self.at, dtype=float)
+
+    @property
+    def name(self) -> str:
+        return f"all-at-once(t={self.at:g})"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Arrivals following a homogeneous Poisson process with the given rate.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_per_second``.
+    """
+
+    def __init__(self, rate_per_second: float, start: float = 0.0) -> None:
+        self.rate_per_second = require_positive(rate_per_second, "rate_per_second")
+        self.start = require_non_negative(start, "start")
+
+    def times(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        n = self._check_n(n)
+        gen = ensure_rng(rng)
+        if n == 0:
+            return np.empty(0, dtype=float)
+        gaps = gen.exponential(1.0 / self.rate_per_second, size=n)
+        return self.start + np.cumsum(gaps)
+
+    @property
+    def name(self) -> str:
+        return f"poisson-arrivals(rate={self.rate_per_second:g}/s)"
+
+
+class UniformArrivals(ArrivalProcess):
+    """Arrival times uniformly scattered over ``[start, start + duration]``."""
+
+    def __init__(self, duration: float, start: float = 0.0) -> None:
+        self.duration = require_positive(duration, "duration")
+        self.start = require_non_negative(start, "start")
+
+    def times(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        n = self._check_n(n)
+        gen = ensure_rng(rng)
+        if n == 0:
+            return np.empty(0, dtype=float)
+        return np.sort(gen.uniform(self.start, self.start + self.duration, size=n))
+
+    @property
+    def name(self) -> str:
+        return f"uniform-arrivals([{self.start:g}, {self.start + self.duration:g}])"
+
+
+class BurstArrivals(ArrivalProcess):
+    """Arrivals grouped into evenly spaced bursts.
+
+    ``n`` tasks are split as evenly as possible into ``n_bursts`` groups, and
+    burst *k* arrives at ``start + k * gap``.  This models clients submitting
+    whole job sets periodically.
+    """
+
+    def __init__(self, n_bursts: int, gap: float, start: float = 0.0) -> None:
+        self.n_bursts = require_positive_int(n_bursts, "n_bursts")
+        self.gap = require_positive(gap, "gap")
+        self.start = require_non_negative(start, "start")
+
+    def times(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        n = self._check_n(n)
+        if n == 0:
+            return np.empty(0, dtype=float)
+        burst_index = np.minimum(
+            np.arange(n) * self.n_bursts // max(n, 1), self.n_bursts - 1
+        )
+        return self.start + burst_index.astype(float) * self.gap
+
+    @property
+    def name(self) -> str:
+        return f"bursts(n={self.n_bursts}, gap={self.gap:g})"
+
+
+def arrival_from_name(name: str, **kwargs) -> ArrivalProcess:
+    """Construct an arrival process from its lowercase family name."""
+    registry = {
+        "all-at-once": AllAtOnce,
+        "all_at_once": AllAtOnce,
+        "poisson": PoissonArrivals,
+        "uniform": UniformArrivals,
+        "bursts": BurstArrivals,
+    }
+    key = name.strip().lower()
+    if key not in registry:
+        raise ConfigurationError(
+            f"unknown arrival process {name!r}; expected one of {sorted(set(registry))}"
+        )
+    return registry[key](**kwargs)

@@ -1,0 +1,252 @@
+"""Task-size distributions (Sect. 4 of the paper).
+
+The paper generates random task sizes from three families — uniform, normal
+and Poisson — to demonstrate that the scheduler is not tuned to a single
+workload shape.  Each distribution here produces sizes in MFLOPs and clamps
+samples to a configurable positive minimum so that degenerate (zero or
+negative) task sizes can never be produced.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng
+from ..util.validation import require_non_negative, require_positive
+
+__all__ = [
+    "SizeDistribution",
+    "UniformSizes",
+    "NormalSizes",
+    "PoissonSizes",
+    "ConstantSizes",
+    "ExponentialSizes",
+    "BimodalSizes",
+    "distribution_from_name",
+]
+
+#: Smallest admissible task size in MFLOPs; samples below it are clamped.
+DEFAULT_MINIMUM_MFLOPS = 1.0
+
+
+class SizeDistribution(ABC):
+    """Base class for random task-size generators.
+
+    Subclasses implement :meth:`_raw_sample`; the public :meth:`sample`
+    clamps to the configured minimum so every task size is strictly positive.
+    """
+
+    def __init__(self, minimum: float = DEFAULT_MINIMUM_MFLOPS) -> None:
+        self.minimum = require_positive(minimum, "minimum task size")
+
+    @abstractmethod
+    def _raw_sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw *n* raw (unclamped) samples."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Theoretical mean of the (unclamped) distribution, in MFLOPs."""
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short human-readable name, e.g. ``"normal(1000, 9e+05)"``."""
+
+    def sample(self, n: int, rng: RNGLike = None) -> np.ndarray:
+        """Draw *n* task sizes (MFLOPs), clamped to the minimum size."""
+        if n < 0:
+            raise ConfigurationError(f"number of samples must be >= 0, got {n}")
+        gen = ensure_rng(rng)
+        if n == 0:
+            return np.empty(0, dtype=float)
+        raw = np.asarray(self._raw_sample(gen, n), dtype=float)
+        return np.maximum(raw, self.minimum)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"
+
+
+class UniformSizes(SizeDistribution):
+    """Task sizes uniformly distributed on ``[low, high]`` MFLOPs."""
+
+    def __init__(self, low: float, high: float, minimum: float = DEFAULT_MINIMUM_MFLOPS):
+        super().__init__(minimum)
+        self.low = require_positive(low, "low")
+        self.high = require_positive(high, "high")
+        if self.high < self.low:
+            raise ConfigurationError(f"high ({high}) must be >= low ({low})")
+
+    def _raw_sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def name(self) -> str:
+        return f"uniform({self.low:g}, {self.high:g})"
+
+
+class NormalSizes(SizeDistribution):
+    """Task sizes from a normal distribution, parameterised by mean and variance.
+
+    The paper's normal workload uses a mean of 1000 MFLOPs and a variance of
+    ``9 x 10^5`` MFLOPs².  Samples are clamped at the minimum size, which is
+    the usual way a truncated-at-zero "normal" task size model is realised.
+    """
+
+    def __init__(
+        self,
+        mean: float,
+        variance: float,
+        minimum: float = DEFAULT_MINIMUM_MFLOPS,
+    ):
+        super().__init__(minimum)
+        self._mean = require_positive(mean, "mean")
+        self.variance = require_non_negative(variance, "variance")
+
+    @property
+    def std(self) -> float:
+        """Standard deviation in MFLOPs."""
+        return math.sqrt(self.variance)
+
+    def _raw_sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.normal(self._mean, self.std, size=n)
+
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def name(self) -> str:
+        return f"normal({self._mean:g}, {self.variance:g})"
+
+
+class PoissonSizes(SizeDistribution):
+    """Task sizes drawn from a Poisson distribution with the given mean."""
+
+    def __init__(self, mean: float, minimum: float = DEFAULT_MINIMUM_MFLOPS):
+        super().__init__(minimum)
+        self._mean = require_positive(mean, "mean")
+
+    def _raw_sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.poisson(self._mean, size=n).astype(float)
+
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def name(self) -> str:
+        return f"poisson({self._mean:g})"
+
+
+class ConstantSizes(SizeDistribution):
+    """Degenerate distribution: every task has the same size.
+
+    Useful for tests and for the homogeneous-task baseline comparisons.
+    """
+
+    def __init__(self, size: float, minimum: float = DEFAULT_MINIMUM_MFLOPS):
+        super().__init__(minimum)
+        self.size = require_positive(size, "size")
+
+    def _raw_sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.size, dtype=float)
+
+    def mean(self) -> float:
+        return self.size
+
+    @property
+    def name(self) -> str:
+        return f"constant({self.size:g})"
+
+
+class ExponentialSizes(SizeDistribution):
+    """Task sizes drawn from an exponential distribution (heavy-ish tail).
+
+    Not used by the paper's figures but provided as an extension workload for
+    stress-testing the schedulers against skewed task populations.
+    """
+
+    def __init__(self, mean: float, minimum: float = DEFAULT_MINIMUM_MFLOPS):
+        super().__init__(minimum)
+        self._mean = require_positive(mean, "mean")
+
+    def _raw_sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return rng.exponential(self._mean, size=n)
+
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def name(self) -> str:
+        return f"exponential({self._mean:g})"
+
+
+class BimodalSizes(SizeDistribution):
+    """A mixture of two normal modes (many small tasks plus a few large ones).
+
+    Extension workload exercising the re-balancing heuristic: the large-task
+    mode creates the heavily loaded processors that re-balancing targets.
+    """
+
+    def __init__(
+        self,
+        small_mean: float,
+        large_mean: float,
+        large_fraction: float = 0.1,
+        relative_std: float = 0.1,
+        minimum: float = DEFAULT_MINIMUM_MFLOPS,
+    ):
+        super().__init__(minimum)
+        self.small_mean = require_positive(small_mean, "small_mean")
+        self.large_mean = require_positive(large_mean, "large_mean")
+        if not (0.0 <= large_fraction <= 1.0):
+            raise ConfigurationError(f"large_fraction must lie in [0, 1], got {large_fraction}")
+        self.large_fraction = float(large_fraction)
+        self.relative_std = require_non_negative(relative_std, "relative_std")
+
+    def _raw_sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        is_large = rng.random(n) < self.large_fraction
+        means = np.where(is_large, self.large_mean, self.small_mean)
+        return rng.normal(means, means * self.relative_std)
+
+    def mean(self) -> float:
+        return (
+            self.large_fraction * self.large_mean
+            + (1.0 - self.large_fraction) * self.small_mean
+        )
+
+    @property
+    def name(self) -> str:
+        return (
+            f"bimodal({self.small_mean:g}, {self.large_mean:g}, "
+            f"p_large={self.large_fraction:g})"
+        )
+
+
+def distribution_from_name(name: str, **kwargs) -> SizeDistribution:
+    """Construct a distribution from its lowercase family name.
+
+    Recognised names: ``uniform``, ``normal``, ``poisson``, ``constant``,
+    ``exponential``, ``bimodal``.  Keyword arguments are forwarded to the
+    matching constructor.
+    """
+    registry = {
+        "uniform": UniformSizes,
+        "normal": NormalSizes,
+        "poisson": PoissonSizes,
+        "constant": ConstantSizes,
+        "exponential": ExponentialSizes,
+        "bimodal": BimodalSizes,
+    }
+    key = name.strip().lower()
+    if key not in registry:
+        raise ConfigurationError(
+            f"unknown size distribution {name!r}; expected one of {sorted(registry)}"
+        )
+    return registry[key](**kwargs)

@@ -1,0 +1,112 @@
+"""Workload generation: combine a size distribution with an arrival process."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng, spawn_rngs
+from ..util.validation import require_at_least
+from .arrival import AllAtOnce, ArrivalProcess
+from .distributions import SizeDistribution
+from .task import Task, TaskSet
+
+__all__ = ["WorkloadSpec", "generate_workload", "WorkloadGenerator"]
+
+
+@dataclass
+class WorkloadSpec:
+    """Declarative description of a workload.
+
+    Attributes
+    ----------
+    n_tasks:
+        Number of tasks to generate.
+    sizes:
+        Task-size distribution (MFLOPs).
+    arrivals:
+        Arrival process; defaults to every task arriving at time zero, as in
+        the paper's experiments.
+    first_task_id:
+        Identifier assigned to the first task; subsequent ids are consecutive.
+    """
+
+    n_tasks: int
+    sizes: SizeDistribution
+    arrivals: ArrivalProcess = field(default_factory=AllAtOnce)
+    first_task_id: int = 0
+
+    def __post_init__(self) -> None:
+        self.n_tasks = require_at_least(self.n_tasks, 0, "n_tasks")
+        if self.first_task_id < 0 or int(self.first_task_id) != self.first_task_id:
+            raise ConfigurationError(
+                f"first_task_id must be a non-negative integer, got {self.first_task_id!r}"
+            )
+
+    def describe(self) -> dict:
+        """Human-readable summary of the specification."""
+        return {
+            "n_tasks": self.n_tasks,
+            "sizes": self.sizes.name,
+            "arrivals": self.arrivals.name,
+            "first_task_id": self.first_task_id,
+        }
+
+
+def generate_workload(spec: WorkloadSpec, rng: RNGLike = None) -> TaskSet:
+    """Materialise a :class:`TaskSet` from *spec*.
+
+    Sizes and arrival times are drawn from independent sub-streams of *rng*
+    so changing one distribution never perturbs the other.
+    """
+    size_rng, arrival_rng = spawn_rngs(rng, 2)
+    sizes = spec.sizes.sample(spec.n_tasks, size_rng)
+    arrivals = spec.arrivals.times(spec.n_tasks, arrival_rng)
+    if len(arrivals) != spec.n_tasks:
+        raise ConfigurationError(
+            f"arrival process produced {len(arrivals)} times for {spec.n_tasks} tasks"
+        )
+    tasks = [
+        Task(
+            task_id=spec.first_task_id + i,
+            size_mflops=float(sizes[i]),
+            arrival_time=float(arrivals[i]),
+        )
+        for i in range(spec.n_tasks)
+    ]
+    # Submission order is arrival order (FCFS); stable sort keeps id order for ties.
+    tasks.sort(key=lambda t: (t.arrival_time, t.task_id))
+    return TaskSet(tasks)
+
+
+class WorkloadGenerator:
+    """Stateful convenience wrapper producing repeated workloads from one spec.
+
+    Each call to :meth:`generate` uses a fresh child stream of the seed given
+    at construction, so a sequence of generated workloads is reproducible as a
+    whole while each individual workload differs (this matches the paper's
+    "thousands of different randomly generated sets of tasks").
+    """
+
+    def __init__(self, spec: WorkloadSpec, seed: RNGLike = None) -> None:
+        self.spec = spec
+        self._rng = ensure_rng(seed)
+        self._generated = 0
+
+    def generate(self) -> TaskSet:
+        """Generate the next workload in the sequence."""
+        self._generated += 1
+        return generate_workload(self.spec, self._rng)
+
+    def generate_many(self, count: int) -> list[TaskSet]:
+        """Generate *count* independent workloads."""
+        count = require_at_least(count, 0, "count")
+        return [self.generate() for _ in range(count)]
+
+    @property
+    def generated_count(self) -> int:
+        """Number of workloads generated so far."""
+        return self._generated

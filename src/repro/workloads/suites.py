@@ -1,0 +1,124 @@
+"""Canned workload specifications matching the paper's experiments.
+
+Each helper returns a :class:`~repro.workloads.generator.WorkloadSpec`
+parameterised exactly as described in Sect. 4 of the paper; the task count is
+left as an argument so benches can run scaled-down versions of the same
+workload shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..util.errors import ConfigurationError
+from .arrival import AllAtOnce
+from .distributions import (
+    NormalSizes,
+    PoissonSizes,
+    SizeDistribution,
+    UniformSizes,
+)
+from .generator import WorkloadSpec
+
+__all__ = [
+    "normal_paper_workload",
+    "uniform_narrow_workload",
+    "uniform_standard_workload",
+    "uniform_wide_workload",
+    "poisson_small_workload",
+    "poisson_large_workload",
+    "paper_workloads",
+    "workload_by_name",
+]
+
+#: Paper figure 5/6 normal distribution parameters.
+NORMAL_MEAN_MFLOPS = 1000.0
+NORMAL_VARIANCE_MFLOPS2 = 9.0e5
+
+#: Paper figure 8 uniform range (1:10 ratio).
+UNIFORM_NARROW_RANGE = (10.0, 100.0)
+#: Paper figure 7 uniform range.
+UNIFORM_STANDARD_RANGE = (10.0, 1000.0)
+#: Paper figure 9 uniform range (1:1000 ratio).
+UNIFORM_WIDE_RANGE = (10.0, 10000.0)
+
+#: Paper figure 10/11 Poisson means.
+POISSON_SMALL_MEAN = 10.0
+POISSON_LARGE_MEAN = 100.0
+
+
+def normal_paper_workload(n_tasks: int) -> WorkloadSpec:
+    """Normal(1000, 9e5) task sizes, all arriving at time zero (Figs. 5, 6)."""
+    return WorkloadSpec(
+        n_tasks=n_tasks,
+        sizes=NormalSizes(NORMAL_MEAN_MFLOPS, NORMAL_VARIANCE_MFLOPS2),
+        arrivals=AllAtOnce(),
+    )
+
+
+def uniform_narrow_workload(n_tasks: int) -> WorkloadSpec:
+    """Uniform[10, 100] task sizes (1:10 ratio, Fig. 8)."""
+    return WorkloadSpec(
+        n_tasks=n_tasks,
+        sizes=UniformSizes(*UNIFORM_NARROW_RANGE),
+        arrivals=AllAtOnce(),
+    )
+
+
+def uniform_standard_workload(n_tasks: int) -> WorkloadSpec:
+    """Uniform[10, 1000] task sizes (Fig. 7)."""
+    return WorkloadSpec(
+        n_tasks=n_tasks,
+        sizes=UniformSizes(*UNIFORM_STANDARD_RANGE),
+        arrivals=AllAtOnce(),
+    )
+
+
+def uniform_wide_workload(n_tasks: int) -> WorkloadSpec:
+    """Uniform[10, 10000] task sizes (1:1000 ratio, Fig. 9)."""
+    return WorkloadSpec(
+        n_tasks=n_tasks,
+        sizes=UniformSizes(*UNIFORM_WIDE_RANGE),
+        arrivals=AllAtOnce(),
+    )
+
+
+def poisson_small_workload(n_tasks: int) -> WorkloadSpec:
+    """Poisson(mean 10 MFLOPs) task sizes (Fig. 10)."""
+    return WorkloadSpec(
+        n_tasks=n_tasks,
+        sizes=PoissonSizes(POISSON_SMALL_MEAN),
+        arrivals=AllAtOnce(),
+    )
+
+
+def poisson_large_workload(n_tasks: int) -> WorkloadSpec:
+    """Poisson(mean 100 MFLOPs) task sizes (Fig. 11)."""
+    return WorkloadSpec(
+        n_tasks=n_tasks,
+        sizes=PoissonSizes(POISSON_LARGE_MEAN),
+        arrivals=AllAtOnce(),
+    )
+
+
+def paper_workloads(n_tasks: int) -> Dict[str, WorkloadSpec]:
+    """All workload shapes used in the paper's figures, keyed by short name."""
+    return {
+        "normal": normal_paper_workload(n_tasks),
+        "uniform_narrow": uniform_narrow_workload(n_tasks),
+        "uniform_standard": uniform_standard_workload(n_tasks),
+        "uniform_wide": uniform_wide_workload(n_tasks),
+        "poisson_small": poisson_small_workload(n_tasks),
+        "poisson_large": poisson_large_workload(n_tasks),
+    }
+
+
+def workload_by_name(name: str, n_tasks: int) -> WorkloadSpec:
+    """Look up a paper workload by its short name."""
+    table = paper_workloads(n_tasks)
+    key = name.strip().lower()
+    if key not in table:
+        raise ConfigurationError(
+            f"unknown paper workload {name!r}; expected one of {sorted(table)}"
+        )
+    return table[key]

@@ -1,0 +1,79 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, CommLink, Network, Processor, heterogeneous_cluster
+from repro.ga import BatchProblem
+from repro.schedulers import SchedulingContext
+from repro.workloads import NormalSizes, Task, TaskSet, WorkloadSpec, generate_workload
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_tasks() -> TaskSet:
+    """Twelve deterministic tasks with varied sizes."""
+    sizes = [100, 250, 75, 400, 50, 300, 125, 225, 175, 350, 90, 260]
+    return TaskSet(Task(task_id=i, size_mflops=float(s)) for i, s in enumerate(sizes))
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """Four heterogeneous, dedicated processors with modest comm costs."""
+    processors = [
+        Processor(proc_id=0, peak_rate_mflops=100.0),
+        Processor(proc_id=1, peak_rate_mflops=200.0),
+        Processor(proc_id=2, peak_rate_mflops=50.0),
+        Processor(proc_id=3, peak_rate_mflops=400.0),
+    ]
+    network = Network(
+        [
+            CommLink(proc_id=0, mean_cost=0.5, relative_std=0.0),
+            CommLink(proc_id=1, mean_cost=1.0, relative_std=0.0),
+            CommLink(proc_id=2, mean_cost=0.25, relative_std=0.0),
+            CommLink(proc_id=3, mean_cost=2.0, relative_std=0.0),
+        ]
+    )
+    return Cluster(processors, network)
+
+
+@pytest.fixture
+def random_cluster(rng) -> Cluster:
+    """An eight-processor randomly generated heterogeneous cluster."""
+    return heterogeneous_cluster(8, mean_comm_cost=1.0, rng=rng)
+
+
+@pytest.fixture
+def small_problem(small_tasks, small_cluster) -> BatchProblem:
+    """A batch problem over the small task set and cluster."""
+    return BatchProblem.from_tasks(
+        list(small_tasks),
+        rates=small_cluster.current_rates(0.0),
+        comm_costs=small_cluster.network.mean_costs(0.0),
+    )
+
+
+@pytest.fixture
+def context(small_cluster) -> SchedulingContext:
+    """A scheduling context matching the small cluster with no pending load."""
+    return SchedulingContext(
+        time=0.0,
+        rates=small_cluster.current_rates(0.0),
+        pending_loads=np.zeros(small_cluster.n_processors),
+        comm_costs=small_cluster.network.mean_costs(0.0),
+        rng=np.random.default_rng(7),
+    )
+
+
+@pytest.fixture
+def normal_workload(rng) -> TaskSet:
+    """Sixty tasks with normally distributed sizes (paper's normal workload, scaled)."""
+    spec = WorkloadSpec(n_tasks=60, sizes=NormalSizes(1000.0, 9.0e5))
+    return generate_workload(spec, rng)

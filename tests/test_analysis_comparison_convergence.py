@@ -1,0 +1,152 @@
+"""Tests for aggregate comparison analytics and convergence analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    aggregate_comparisons,
+    analyse_history,
+    analyse_result,
+    compare_convergence,
+)
+from repro.experiments import compare_schedulers, get_scale
+from repro.experiments.runner import ComparisonResult, SchedulerComparison
+from repro.experiments.stats import summarise
+from repro.ga import GAConfig, GeneticAlgorithm
+from repro.util.errors import ConfigurationError
+from repro.workloads import normal_paper_workload
+
+
+def fake_comparison(makespans, efficiencies=None):
+    efficiencies = efficiencies or {name: 1.0 / value for name, value in makespans.items()}
+    schedulers = {
+        name: SchedulerComparison(
+            scheduler=name,
+            makespan=summarise([makespans[name]]),
+            efficiency=summarise([efficiencies[name]]),
+            mean_response_time=summarise([1.0]),
+            invocations=summarise([1.0]),
+        )
+        for name in makespans
+    }
+    return ComparisonResult(condition={}, schedulers=schedulers, repeats=1)
+
+
+class TestAggregateComparisons:
+    def test_win_counting(self):
+        comparisons = [
+            fake_comparison({"PN": 10.0, "EF": 12.0}),
+            fake_comparison({"PN": 10.0, "EF": 9.0}),
+            fake_comparison({"PN": 8.0, "EF": 12.0}),
+        ]
+        summary = aggregate_comparisons(comparisons)
+        assert summary.conditions == 3
+        assert summary.wins_by_makespan == {"PN": 2, "EF": 1}
+        assert summary.overall_winner() == "PN"
+
+    def test_relative_makespan(self):
+        summary = aggregate_comparisons([fake_comparison({"A": 10.0, "B": 20.0})])
+        assert summary.mean_relative_makespan["A"] == pytest.approx(1.0)
+        assert summary.mean_relative_makespan["B"] == pytest.approx(2.0)
+
+    def test_pairwise_matrix(self):
+        summary = aggregate_comparisons(
+            [
+                fake_comparison({"A": 1.0, "B": 2.0, "C": 3.0}),
+                fake_comparison({"A": 3.0, "B": 1.0, "C": 2.0}),
+            ]
+        )
+        matrix = summary.matrix
+        assert matrix.wins["A"]["C"] == 1
+        assert matrix.wins["C"]["A"] == 1
+        assert 0.0 <= matrix.win_rate("A") <= 1.0
+        assert "Pairwise wins" in matrix.to_text()
+
+    def test_to_text_lists_all_schedulers(self):
+        summary = aggregate_comparisons([fake_comparison({"A": 1.0, "B": 2.0})])
+        text = summary.to_text()
+        assert "A" in text and "B" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_comparisons([])
+
+    def test_mismatched_scheduler_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_comparisons(
+                [fake_comparison({"A": 1.0}), fake_comparison({"B": 1.0})]
+            )
+
+    def test_with_real_comparisons(self):
+        scale = get_scale("smoke").scaled(n_tasks=30, n_processors=4, repeats=1, max_generations=5)
+        comparisons = [
+            compare_schedulers(
+                normal_paper_workload(scale.n_tasks),
+                scale,
+                mean_comm_cost=cost,
+                scheduler_names=["PN", "EF", "RR"],
+                seed=1,
+            )
+            for cost in (2.0, 10.0)
+        ]
+        summary = aggregate_comparisons(comparisons)
+        assert summary.conditions == 2
+        assert set(summary.mean_relative_makespan) == {"PN", "EF", "RR"}
+
+
+class TestAnalyseHistory:
+    def test_basic_quantities(self):
+        history = [100.0, 90.0, 80.0, 80.0, 75.0]
+        stats = analyse_history(history, initial_makespan=100.0)
+        assert stats.generations == 5
+        assert stats.final_makespan == 75.0
+        assert stats.total_reduction == 25.0
+        assert stats.reduction_fraction == pytest.approx(0.25)
+
+    def test_generations_to_fraction(self):
+        history = [100.0, 60.0, 55.0, 52.0, 50.0]
+        stats = analyse_history(history, initial_makespan=100.0)
+        # half of the total 50-unit reduction (i.e. reaching 75) happens at generation 2
+        assert stats.generations_to_half_reduction == 2
+        assert stats.generations_to_90pct_reduction >= 2
+
+    def test_no_improvement(self):
+        stats = analyse_history([100.0, 100.0], initial_makespan=100.0)
+        assert stats.total_reduction == 0.0
+        assert stats.generations_to_half_reduction == 0
+        assert stats.auc_reduction == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            analyse_history([], 10.0)
+        with pytest.raises(ConfigurationError):
+            analyse_history([1.0], 0.0)
+
+    def test_front_loaded_history_has_high_auc(self):
+        fast = analyse_history([50.0] + [50.0] * 9, initial_makespan=100.0)
+        slow = analyse_history(list(np.linspace(100, 50, 10)), initial_makespan=100.0)
+        assert fast.auc_reduction > slow.auc_reduction
+
+
+class TestAnalyseResult:
+    def test_matches_ga_result(self, small_problem):
+        config = GAConfig(population_size=8, max_generations=12, n_rebalances=1)
+        result = GeneticAlgorithm(config, rng=0).evolve(small_problem)
+        stats = analyse_result(result)
+        assert stats.generations == result.generations
+        assert stats.final_makespan == pytest.approx(result.best_makespan)
+        assert stats.reduction_fraction == pytest.approx(result.reduction_fraction, abs=1e-9)
+
+    def test_compare_convergence(self, small_problem):
+        results = [
+            GeneticAlgorithm(
+                GAConfig(population_size=8, max_generations=10, n_rebalances=n), rng=0
+            ).evolve(small_problem)
+            for n in (0, 1)
+        ]
+        stats = compare_convergence(results)
+        assert len(stats) == 2
+
+    def test_compare_convergence_empty(self):
+        with pytest.raises(ConfigurationError):
+            compare_convergence([])

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.config import SCALES
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_figure_commands_exist(self):
+        parser = build_parser()
+        for figure_id in [f"fig{i}" for i in range(3, 12)]:
+            args = parser.parse_args([figure_id, "--scale", "smoke", "--seed", "1"])
+            assert args.command == figure_id
+            assert args.scale == "smoke"
+            assert args.seed == 1
+
+    def test_compare_command_options(self):
+        args = build_parser().parse_args(
+            ["compare", "--workload", "poisson_small", "--comm-cost", "3.5", "--tasks", "40"]
+        )
+        assert args.workload == "poisson_small"
+        assert args.comm_cost == 3.5
+        assert args.tasks == 40
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--scale", "enormous"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out
+        for scale in SCALES:
+            assert scale in out
+
+    def test_compare_smoke(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--scale",
+                "smoke",
+                "--seed",
+                "1",
+                "--workload",
+                "uniform_narrow",
+                "--comm-cost",
+                "2.0",
+                "--tasks",
+                "25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PN" in out and "makespan_mean" in out
+
+    def test_figure4_smoke(self, capsys):
+        assert main(["fig4", "--scale", "smoke", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rebalances_per_generation" in out

@@ -1,0 +1,164 @@
+"""Tests for processors and availability-variation models."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ConstantAvailability,
+    Processor,
+    RandomWalkAvailability,
+    SinusoidalAvailability,
+    StepAvailability,
+    TraceAvailability,
+    availability_from_name,
+)
+from repro.cluster.variation import MIN_AVAILABILITY
+from repro.util.errors import ConfigurationError
+
+
+class TestConstantAvailability:
+    def test_always_returns_level(self):
+        model = ConstantAvailability(0.7)
+        for t in (0.0, 10.0, 1e6):
+            assert model.availability(t) == 0.7
+
+    def test_mean_equals_level(self):
+        assert ConstantAvailability(0.5).mean_availability() == 0.5
+
+    def test_level_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantAvailability(1.5)
+
+
+class TestSinusoidalAvailability:
+    def test_bounded(self):
+        model = SinusoidalAvailability(base=0.7, amplitude=0.5, period=100.0)
+        values = [model.availability(t) for t in np.linspace(0, 500, 200)]
+        assert min(values) >= MIN_AVAILABILITY and max(values) <= 1.0
+
+    def test_periodicity(self):
+        model = SinusoidalAvailability(base=0.7, amplitude=0.2, period=100.0)
+        assert model.availability(13.0) == pytest.approx(model.availability(113.0))
+
+    def test_zero_amplitude_is_constant(self):
+        model = SinusoidalAvailability(base=0.8, amplitude=0.0)
+        assert model.availability(5.0) == pytest.approx(0.8)
+
+
+class TestStepAvailability:
+    def test_levels_change_at_breakpoints(self):
+        model = StepAvailability([(0.0, 1.0), (10.0, 0.5), (20.0, 0.25)])
+        assert model.availability(5.0) == 1.0
+        assert model.availability(10.0) == 0.5
+        assert model.availability(15.0) == 0.5
+        assert model.availability(1000.0) == 0.25
+
+    def test_implicit_full_availability_before_first_step(self):
+        model = StepAvailability([(10.0, 0.5)])
+        assert model.availability(0.0) == 1.0
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepAvailability([(0.0, 1.0), (0.0, 0.5)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StepAvailability([])
+
+    def test_levels_clamped_to_floor(self):
+        model = StepAvailability([(0.0, 0.0)])
+        assert model.availability(0.0) == MIN_AVAILABILITY
+
+
+class TestRandomWalkAvailability:
+    def test_bounded(self):
+        model = RandomWalkAvailability(base=0.8, sigma=0.2, step=10.0, seed=1)
+        values = [model.availability(t) for t in np.linspace(0, 1000, 100)]
+        assert min(values) >= MIN_AVAILABILITY and max(values) <= 1.0
+
+    def test_deterministic_given_seed(self):
+        a = RandomWalkAvailability(seed=5)
+        b = RandomWalkAvailability(seed=5)
+        for t in (0.0, 123.0, 999.0):
+            assert a.availability(t) == b.availability(t)
+
+    def test_out_of_order_queries_consistent(self):
+        model = RandomWalkAvailability(seed=2, step=10.0)
+        late = model.availability(500.0)
+        early = model.availability(50.0)
+        assert model.availability(500.0) == late
+        assert model.availability(50.0) == early
+
+    def test_piecewise_constant_within_bucket(self):
+        model = RandomWalkAvailability(seed=3, step=100.0)
+        assert model.availability(10.0) == model.availability(90.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkAvailability(seed=1).availability(-1.0)
+
+
+class TestTraceAvailability:
+    def test_zero_order_hold(self):
+        model = TraceAvailability([0.0, 10.0, 20.0], [1.0, 0.5, 0.75])
+        assert model.availability(5.0) == 1.0
+        assert model.availability(10.0) == 0.5
+        assert model.availability(19.9) == 0.5
+        assert model.availability(100.0) == 0.75
+
+    def test_before_first_sample_uses_first_level(self):
+        model = TraceAvailability([10.0], [0.6])
+        assert model.availability(0.0) == 0.6
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceAvailability([0.0, 1.0], [0.5])
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceAvailability([1.0, 0.5], [0.5, 0.6])
+
+
+class TestAvailabilityFactory:
+    def test_known_names(self):
+        assert isinstance(availability_from_name("constant"), ConstantAvailability)
+        assert isinstance(availability_from_name("sinusoidal"), SinusoidalAvailability)
+        assert isinstance(availability_from_name("random-walk", seed=1), RandomWalkAvailability)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            availability_from_name("weather")
+
+
+class TestProcessor:
+    def test_current_rate_scales_with_availability(self):
+        proc = Processor(proc_id=0, peak_rate_mflops=200.0, availability=ConstantAvailability(0.5))
+        assert proc.current_rate(0.0) == pytest.approx(100.0)
+
+    def test_dedicated_by_default(self):
+        proc = Processor(proc_id=1, peak_rate_mflops=100.0)
+        assert proc.is_dedicated()
+        assert proc.current_rate(50.0) == 100.0
+
+    def test_execution_time(self):
+        proc = Processor(proc_id=0, peak_rate_mflops=100.0)
+        assert proc.execution_time(500.0) == pytest.approx(5.0)
+
+    def test_default_name(self):
+        assert Processor(proc_id=3, peak_rate_mflops=1.0).name == "proc3"
+
+    def test_invalid_peak_rate(self):
+        with pytest.raises(ConfigurationError):
+            Processor(proc_id=0, peak_rate_mflops=0.0)
+
+    def test_invalid_id(self):
+        with pytest.raises(ConfigurationError):
+            Processor(proc_id=-1, peak_rate_mflops=1.0)
+
+    def test_mean_rate_with_varying_availability(self):
+        proc = Processor(
+            proc_id=0,
+            peak_rate_mflops=100.0,
+            availability=SinusoidalAvailability(base=0.5, amplitude=0.3, period=100.0),
+        )
+        assert 20.0 < proc.mean_rate(horizon=1000.0) < 80.0

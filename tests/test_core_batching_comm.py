@@ -1,0 +1,159 @@
+"""Tests for dynamic batch sizing and communication-cost estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CommCostEstimator, DynamicBatchSizer, FixedBatchSizer
+from repro.util.errors import ConfigurationError
+
+
+class TestDynamicBatchSizer:
+    def test_initial_batch_before_observations(self):
+        sizer = DynamicBatchSizer(initial_batch=123)
+        assert sizer.next_batch_size() == 123
+
+    def test_paper_square_root_rule(self):
+        sizer = DynamicBatchSizer(nu=1.0, min_batch=1)
+        sizer.observe_time_until_idle(99.0)  # Γ = 99
+        assert sizer.raw_batch_size() == math.floor(math.sqrt(100.0))
+        assert sizer.next_batch_size() == 10
+
+    def test_smoothing_of_observations(self):
+        sizer = DynamicBatchSizer(nu=0.5, min_batch=1)
+        sizer.observe_time_until_idle(100.0)
+        sizer.observe_time_until_idle(0.0)
+        assert sizer.smoothed_time_until_idle == pytest.approx(50.0)
+        assert sizer.raw_batch_size() == math.floor(math.sqrt(51.0))
+
+    def test_min_batch_clamp(self):
+        sizer = DynamicBatchSizer(min_batch=10)
+        sizer.observe_time_until_idle(0.0)  # raw rule gives 1
+        assert sizer.next_batch_size() == 10
+
+    def test_max_batch_clamp(self):
+        sizer = DynamicBatchSizer(min_batch=1, max_batch=5)
+        sizer.observe_time_until_idle(1e6)
+        assert sizer.next_batch_size() == 5
+
+    def test_capped_by_queue_length(self):
+        sizer = DynamicBatchSizer(initial_batch=100)
+        assert sizer.next_batch_size(n_queued=7) == 7
+        assert sizer.next_batch_size(n_queued=0) == 0
+
+    def test_observe_queue_state_uses_min_over_processors(self):
+        sizer = DynamicBatchSizer(nu=1.0, min_batch=1)
+        gamma = sizer.observe_queue_state(
+            pending_loads=np.array([100.0, 400.0]), rates=np.array([10.0, 10.0])
+        )
+        assert gamma == pytest.approx(10.0)  # min(10, 40)
+
+    def test_scale_factor(self):
+        sizer = DynamicBatchSizer(nu=1.0, min_batch=1, scale=3.0)
+        sizer.observe_time_until_idle(99.0)
+        assert sizer.next_batch_size() == 30
+
+    def test_reset(self):
+        sizer = DynamicBatchSizer(initial_batch=50)
+        sizer.observe_time_until_idle(1000.0)
+        sizer.reset()
+        assert sizer.smoothed_time_until_idle is None
+        assert sizer.next_batch_size() == 50
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(nu=2.0),
+            dict(min_batch=0),
+            dict(max_batch=2, min_batch=5),
+            dict(scale=0.0),
+            dict(initial_batch=0),
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DynamicBatchSizer(**kwargs)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicBatchSizer().observe_time_until_idle(-1.0)
+
+    def test_mismatched_queue_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicBatchSizer().observe_queue_state(np.zeros(2), np.ones(3))
+
+
+class TestFixedBatchSizer:
+    def test_constant_size(self):
+        sizer = FixedBatchSizer(batch_size=42)
+        assert sizer.next_batch_size() == 42
+        sizer.observe_time_until_idle(1e9)
+        assert sizer.next_batch_size() == 42
+
+    def test_capped_by_queue(self):
+        assert FixedBatchSizer(batch_size=42).next_batch_size(n_queued=3) == 3
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            FixedBatchSizer(batch_size=0)
+
+    def test_observe_queue_state_interface(self):
+        sizer = FixedBatchSizer(batch_size=5)
+        value = sizer.observe_queue_state(np.array([10.0]), np.array([2.0]))
+        assert value == pytest.approx(5.0)
+
+
+class TestCommCostEstimator:
+    def test_prior_before_observations(self):
+        estimator = CommCostEstimator(3, prior=2.5)
+        assert estimator.estimate(0) == 2.5
+        assert np.all(estimator.estimates() == 2.5)
+
+    def test_first_observation_becomes_estimate(self):
+        estimator = CommCostEstimator(3)
+        estimator.observe(1, 4.0)
+        assert estimator.estimate(1) == 4.0
+        assert estimator.estimate(0) == 0.0
+
+    def test_smoothing(self):
+        estimator = CommCostEstimator(2, nu=0.5)
+        estimator.observe(0, 10.0)
+        estimator.observe(0, 20.0)
+        assert estimator.estimate(0) == pytest.approx(15.0)
+
+    def test_observation_counts(self):
+        estimator = CommCostEstimator(2)
+        estimator.observe(1, 1.0)
+        estimator.observe(1, 2.0)
+        assert estimator.observation_counts().tolist() == [0, 2]
+
+    def test_mean_estimate(self):
+        estimator = CommCostEstimator(2, nu=1.0)
+        estimator.observe(0, 4.0)
+        estimator.observe(1, 6.0)
+        assert estimator.mean_estimate() == pytest.approx(5.0)
+
+    def test_reset(self):
+        estimator = CommCostEstimator(2)
+        estimator.observe(0, 4.0)
+        estimator.reset()
+        assert estimator.estimate(0) == 0.0
+
+    def test_invalid_processor_rejected(self):
+        estimator = CommCostEstimator(2)
+        with pytest.raises(ConfigurationError):
+            estimator.observe(5, 1.0)
+        with pytest.raises(ConfigurationError):
+            estimator.estimate(-1)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommCostEstimator(2).observe(0, -1.0)
+
+    def test_converges_to_true_mean(self):
+        rng = np.random.default_rng(0)
+        estimator = CommCostEstimator(1, nu=0.2)
+        for _ in range(500):
+            estimator.observe(0, rng.normal(7.0, 1.0))
+        assert estimator.estimate(0) == pytest.approx(7.0, abs=1.0)

@@ -1,0 +1,117 @@
+"""End-to-end integration tests crossing every layer of the library.
+
+These tests exercise the paper's central claims at a very small scale:
+the PN scheduler produces competitive schedules, learns communication costs
+over time, and the whole pipeline (workload → cluster → scheduler →
+simulation → metrics → reporting) is reproducible from a single seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ALL_SCHEDULER_NAMES,
+    PNScheduler,
+    default_pn_ga_config,
+    generate_workload,
+    heterogeneous_cluster,
+    make_scheduler,
+    normal_paper_workload,
+    simulate_schedule,
+)
+from repro.experiments import compare_schedulers, get_scale
+from repro.workloads import UniformSizes, WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def shootout():
+    """One shared scheduler comparison at smoke scale used by several tests."""
+    scale = get_scale("smoke").scaled(n_tasks=60, n_processors=5, repeats=2, max_generations=15)
+    return compare_schedulers(
+        normal_paper_workload(scale.n_tasks), scale, mean_comm_cost=3.0, seed=7
+    )
+
+
+class TestSchedulerShootout:
+    def test_pn_is_top_half_by_makespan(self, shootout):
+        rank = shootout.rank_of("PN", "makespan")
+        assert rank <= len(ALL_SCHEDULER_NAMES) // 2 + 1
+
+    def test_pn_beats_round_robin(self, shootout):
+        assert (
+            shootout.schedulers["PN"].makespan.mean
+            < shootout.schedulers["RR"].makespan.mean
+        )
+
+    def test_efficiency_and_makespan_are_anticorrelated_in_ranking(self, shootout):
+        # the best-makespan scheduler should not be the worst-efficiency one
+        best = shootout.best_by_makespan()
+        assert shootout.rank_of(best, "efficiency") <= len(ALL_SCHEDULER_NAMES) - 1
+
+
+class TestPNLearning:
+    def test_comm_estimates_learned_during_simulation(self):
+        cluster = heterogeneous_cluster(5, mean_comm_cost=2.0, rng=0)
+        tasks = generate_workload(normal_paper_workload(80), rng=1)
+        scheduler = PNScheduler(
+            n_processors=5, ga_config=default_pn_ga_config(max_generations=10), rng=2
+        )
+        simulate_schedule(scheduler, cluster, tasks, rng=3)
+        # after the run, at least some links have been observed and the mean
+        # estimate is in the right ballpark of the configured mean comm cost
+        counts = scheduler.comm_estimator.observation_counts()
+        assert counts.sum() > 0
+        assert scheduler.comm_estimator.mean_estimate() > 0
+
+    def test_multiple_batches_scheduled_dynamically(self):
+        cluster = heterogeneous_cluster(5, mean_comm_cost=1.0, rng=0)
+        tasks = generate_workload(normal_paper_workload(100), rng=4)
+        scheduler = PNScheduler(
+            n_processors=5, ga_config=default_pn_ga_config(max_generations=8), rng=5
+        )
+        result = simulate_schedule(scheduler, cluster, tasks, rng=6)
+        assert result.scheduler_invocations > 1
+        assert sum(result.batch_sizes) == 100
+
+
+class TestReproducibility:
+    def test_full_pipeline_reproducible(self):
+        def run():
+            cluster = heterogeneous_cluster(4, mean_comm_cost=1.0, rng=11)
+            tasks = generate_workload(
+                WorkloadSpec(n_tasks=40, sizes=UniformSizes(10, 1000)), rng=12
+            )
+            scheduler = make_scheduler("PN", n_processors=4, max_generations=8, rng=13)
+            return simulate_schedule(scheduler, cluster, tasks, rng=14)
+
+        a, b = run(), run()
+        assert a.makespan == pytest.approx(b.makespan)
+        assert a.efficiency == pytest.approx(b.efficiency)
+        assert a.batch_sizes == b.batch_sizes
+
+    def test_different_seeds_give_different_workloads(self):
+        a = generate_workload(normal_paper_workload(30), rng=1).sizes()
+        b = generate_workload(normal_paper_workload(30), rng=2).sizes()
+        assert not np.array_equal(a, b)
+
+
+class TestConservation:
+    def test_work_conserved_across_every_scheduler(self):
+        cluster = heterogeneous_cluster(4, mean_comm_cost=0.5, rng=0)
+        tasks = generate_workload(WorkloadSpec(n_tasks=50, sizes=UniformSizes(10, 500)), rng=1)
+        total = tasks.total_mflops()
+        for name in ALL_SCHEDULER_NAMES:
+            scheduler = make_scheduler(name, n_processors=4, batch_size=20, max_generations=6)
+            result = simulate_schedule(scheduler, cluster, tasks, rng=2)
+            assert result.metrics.total_mflops == pytest.approx(total), name
+            assert result.metrics.tasks_completed == 50, name
+
+    def test_efficiency_decomposition_sums_to_one(self):
+        cluster = heterogeneous_cluster(4, mean_comm_cost=2.0, rng=3)
+        tasks = generate_workload(WorkloadSpec(n_tasks=40, sizes=UniformSizes(10, 500)), rng=4)
+        result = simulate_schedule(
+            make_scheduler("EF", n_processors=4), cluster, tasks, rng=5
+        )
+        metrics = result.metrics
+        total = metrics.efficiency + metrics.communication_fraction + metrics.idle_fraction
+        assert total == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,107 @@
+"""Tests for the extended (non-paper) baseline schedulers: MET, OLB, Sufferage."""
+
+import numpy as np
+import pytest
+
+from repro.schedulers import SchedulingContext
+from repro.schedulers.extended import (
+    EXTENDED_SCHEDULER_NAMES,
+    MinimumExecutionTimeScheduler,
+    OpportunisticLoadBalancingScheduler,
+    SufferageScheduler,
+)
+from repro.sim import simulate_schedule
+from repro.workloads import Task
+
+
+def make_context(rates, pending=None):
+    rates = np.asarray(rates, dtype=float)
+    return SchedulingContext(
+        time=0.0,
+        rates=rates,
+        pending_loads=np.zeros_like(rates) if pending is None else np.asarray(pending, float),
+        comm_costs=np.zeros_like(rates),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestMinimumExecutionTime:
+    def test_always_picks_fastest_processor(self):
+        ctx = make_context([10.0, 100.0, 50.0], pending=[0.0, 1e6, 0.0])
+        scheduler = MinimumExecutionTimeScheduler()
+        # even though processor 1 is heavily loaded, MET ignores load
+        assert scheduler.schedule([Task(0, 100.0)], ctx).processor_of(0) == 1
+
+    def test_piles_everything_on_fastest(self):
+        ctx = make_context([10.0, 100.0])
+        assignment = MinimumExecutionTimeScheduler().schedule(
+            [Task(i, 50.0) for i in range(5)], ctx
+        )
+        assert assignment.counts().tolist() == [0, 5]
+
+
+class TestOpportunisticLoadBalancing:
+    def test_picks_soonest_free_processor(self):
+        # processor 0 has less backlog time (100/10=10) than processor 1 (50/2=25)
+        ctx = make_context([10.0, 2.0], pending=[100.0, 50.0])
+        assert OpportunisticLoadBalancingScheduler().schedule([Task(0, 1.0)], ctx).processor_of(0) == 0
+
+    def test_ignores_task_size(self):
+        ctx = make_context([10.0, 1000.0], pending=[0.0, 1.0])
+        # OLB picks processor 0 (free now) even for a huge task better suited to proc 1
+        assert OpportunisticLoadBalancingScheduler().schedule(
+            [Task(0, 1e5)], ctx
+        ).processor_of(0) == 0
+
+    def test_spreads_tasks(self):
+        ctx = make_context([10.0, 10.0, 10.0])
+        assignment = OpportunisticLoadBalancingScheduler().schedule(
+            [Task(i, 100.0) for i in range(6)], ctx
+        )
+        assert sorted(assignment.counts().tolist()) == [2, 2, 2]
+
+
+class TestSufferage:
+    def test_all_tasks_assigned(self):
+        ctx = make_context([10.0, 50.0, 200.0])
+        tasks = [Task(i, float(10 + 37 * i % 400 + 1)) for i in range(20)]
+        assignment = SufferageScheduler(batch_size=30).schedule(tasks, ctx)
+        assert sorted(assignment.task_ids()) == sorted(t.task_id for t in tasks)
+
+    def test_single_processor_degenerates_gracefully(self):
+        ctx = make_context([10.0])
+        assignment = SufferageScheduler().schedule([Task(0, 5.0), Task(1, 7.0)], ctx)
+        assert assignment.counts().tolist() == [2]
+
+    def test_prefers_high_sufferage_task_first(self):
+        # One fast and one slow processor: the large task suffers most from
+        # losing the fast processor, so it should be mapped there.
+        ctx = make_context([10.0, 100.0])
+        tasks = [Task(0, 10.0), Task(1, 1000.0)]
+        assignment = SufferageScheduler().schedule(tasks, ctx)
+        assert assignment.processor_of(1) == 1
+
+    def test_comparable_to_earliest_first_quality(self, small_cluster, small_tasks):
+        from repro.schedulers import EarliestFirstScheduler
+
+        su = simulate_schedule(SufferageScheduler(batch_size=12), small_cluster, small_tasks, rng=0)
+        ef = simulate_schedule(EarliestFirstScheduler(), small_cluster, small_tasks, rng=0)
+        assert su.makespan <= ef.makespan * 1.5
+
+
+class TestIntegrationWithSimulator:
+    @pytest.mark.parametrize(
+        "scheduler_factory",
+        [
+            MinimumExecutionTimeScheduler,
+            OpportunisticLoadBalancingScheduler,
+            lambda: SufferageScheduler(batch_size=10),
+        ],
+    )
+    def test_completes_workload_in_simulation(self, scheduler_factory, small_cluster, small_tasks):
+        result = simulate_schedule(scheduler_factory(), small_cluster, small_tasks, rng=1)
+        assert result.metrics.tasks_completed == len(small_tasks)
+        assert 0 < result.efficiency <= 1.0
+
+    def test_extended_names_constant(self):
+        assert EXTENDED_SCHEDULER_NAMES == ["MET", "OLB", "SU"]

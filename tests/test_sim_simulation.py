@@ -1,0 +1,202 @@
+"""Integration-level tests of the full master/worker simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    CommLink,
+    Network,
+    Processor,
+    SinusoidalAvailability,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+)
+from repro.core import PNScheduler, default_pn_ga_config
+from repro.schedulers import (
+    ALL_SCHEDULER_NAMES,
+    EarliestFirstScheduler,
+    MinMinScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
+from repro.sim import SimulationConfig, simulate_schedule
+from repro.util.errors import SimulationError
+from repro.workloads import (
+    PoissonArrivals,
+    Task,
+    TaskSet,
+    UniformSizes,
+    WorkloadSpec,
+    generate_workload,
+)
+
+
+class TestBasicSimulation:
+    def test_all_tasks_complete(self, small_cluster, small_tasks):
+        result = simulate_schedule(EarliestFirstScheduler(), small_cluster, small_tasks, rng=0)
+        assert result.metrics.tasks_completed == len(small_tasks)
+        assert len(result.trace) == len(small_tasks)
+        assert result.makespan > 0
+        assert 0 < result.efficiency <= 1.0
+
+    def test_empty_task_set_rejected(self, small_cluster):
+        with pytest.raises(SimulationError):
+            simulate_schedule(EarliestFirstScheduler(), small_cluster, TaskSet([]), rng=0)
+
+    def test_deterministic_given_seeds(self, small_cluster, small_tasks):
+        a = simulate_schedule(EarliestFirstScheduler(), small_cluster, small_tasks, rng=3)
+        b = simulate_schedule(EarliestFirstScheduler(), small_cluster, small_tasks, rng=3)
+        assert a.makespan == pytest.approx(b.makespan)
+        assert a.efficiency == pytest.approx(b.efficiency)
+
+    def test_single_task_single_processor(self):
+        cluster = homogeneous_cluster(1, rate_mflops=10.0)
+        tasks = TaskSet([Task(0, 100.0)])
+        result = simulate_schedule(RoundRobinScheduler(), cluster, tasks, rng=0)
+        assert result.makespan == pytest.approx(10.0)
+        assert result.efficiency == pytest.approx(1.0)
+
+    def test_makespan_bounded_below_by_ideal(self, small_cluster, small_tasks):
+        result = simulate_schedule(EarliestFirstScheduler(), small_cluster, small_tasks, rng=0)
+        ideal = small_tasks.total_mflops() / small_cluster.total_peak_rate()
+        assert result.makespan >= ideal
+
+    def test_every_scheduler_completes_the_workload(self, small_cluster, small_tasks):
+        for name in ALL_SCHEDULER_NAMES:
+            scheduler = make_scheduler(
+                name, n_processors=small_cluster.n_processors, batch_size=6, max_generations=5
+            )
+            result = simulate_schedule(scheduler, small_cluster, small_tasks, rng=1)
+            assert result.metrics.tasks_completed == len(small_tasks), name
+            assert result.scheduler_name == name
+
+    def test_record_times_are_consistent(self, small_cluster, small_tasks):
+        result = simulate_schedule(MinMinScheduler(batch_size=6), small_cluster, small_tasks, rng=0)
+        for record in result.trace:
+            assert record.arrival_time <= record.assigned_time <= record.dispatch_time
+            assert record.dispatch_time <= record.exec_start <= record.exec_end
+
+    def test_pending_loads_drain_to_zero(self, small_cluster, small_tasks):
+        from repro.sim.simulation import DistributedSystemSimulation
+
+        sim = DistributedSystemSimulation(
+            EarliestFirstScheduler(), small_cluster, small_tasks, rng=0
+        )
+        sim.run()
+        assert np.allclose(sim.master.pending_loads, 0.0)
+
+
+class TestCommunicationCosts:
+    def test_zero_comm_cost_gives_high_efficiency(self):
+        cluster = homogeneous_cluster(4, rate_mflops=100.0, mean_comm_cost=0.0)
+        tasks = generate_workload(
+            WorkloadSpec(n_tasks=80, sizes=UniformSizes(100, 1000)), rng=0
+        )
+        result = simulate_schedule(EarliestFirstScheduler(), cluster, tasks, rng=0)
+        assert result.efficiency > 0.9
+
+    def test_higher_comm_cost_lowers_efficiency(self):
+        tasks = generate_workload(
+            WorkloadSpec(n_tasks=60, sizes=UniformSizes(100, 1000)), rng=0
+        )
+        cheap = homogeneous_cluster(4, rate_mflops=100.0, mean_comm_cost=0.1)
+        expensive = homogeneous_cluster(4, rate_mflops=100.0, mean_comm_cost=10.0)
+        eff_cheap = simulate_schedule(EarliestFirstScheduler(), cheap, tasks, rng=1).efficiency
+        eff_expensive = simulate_schedule(
+            EarliestFirstScheduler(), expensive, tasks, rng=1
+        ).efficiency
+        assert eff_cheap > eff_expensive
+
+    def test_comm_time_recorded_in_trace(self):
+        cluster = Cluster(
+            [Processor(proc_id=0, peak_rate_mflops=100.0)],
+            Network([CommLink(proc_id=0, mean_cost=2.0, relative_std=0.0)]),
+        )
+        tasks = TaskSet([Task(0, 100.0), Task(1, 100.0)])
+        result = simulate_schedule(RoundRobinScheduler(), cluster, tasks, rng=0)
+        assert result.metrics.total_comm_seconds == pytest.approx(4.0)
+        assert result.makespan == pytest.approx(6.0)  # 2 * (2 + 1)
+
+
+class TestDynamicBehaviour:
+    def test_dynamic_arrivals_complete(self, small_cluster):
+        spec = WorkloadSpec(
+            n_tasks=40, sizes=UniformSizes(50, 500), arrivals=PoissonArrivals(5.0)
+        )
+        tasks = generate_workload(spec, rng=2)
+        result = simulate_schedule(EarliestFirstScheduler(), small_cluster, tasks, rng=0)
+        assert result.metrics.tasks_completed == 40
+        # completion can never precede the last arrival
+        assert result.trace.completion_time() >= tasks.arrival_times().max()
+
+    def test_varying_availability_slows_execution(self):
+        fast = homogeneous_cluster(2, rate_mflops=100.0)
+        slow_procs = [
+            Processor(
+                proc_id=i,
+                peak_rate_mflops=100.0,
+                availability=SinusoidalAvailability(base=0.5, amplitude=0.0),
+            )
+            for i in range(2)
+        ]
+        slow = Cluster(slow_procs, fast.network)
+        tasks = generate_workload(WorkloadSpec(n_tasks=30, sizes=UniformSizes(100, 200)), rng=0)
+        fast_result = simulate_schedule(EarliestFirstScheduler(), fast, tasks, rng=1)
+        slow_result = simulate_schedule(EarliestFirstScheduler(), slow, tasks, rng=1)
+        assert slow_result.makespan > fast_result.makespan
+
+    def test_pn_scheduler_runs_multiple_batches(self, random_cluster):
+        tasks = generate_workload(WorkloadSpec(n_tasks=60, sizes=UniformSizes(50, 500)), rng=3)
+        scheduler = PNScheduler(
+            n_processors=random_cluster.n_processors,
+            ga_config=default_pn_ga_config(max_generations=10),
+            rng=0,
+        )
+        result = simulate_schedule(scheduler, random_cluster, tasks, rng=4)
+        assert result.metrics.tasks_completed == 60
+        assert result.scheduler_invocations >= 1
+        assert len(scheduler.history) == result.scheduler_invocations
+
+    def test_batch_sizes_recorded(self, random_cluster):
+        tasks = generate_workload(WorkloadSpec(n_tasks=30, sizes=UniformSizes(50, 500)), rng=3)
+        scheduler = MinMinScheduler(batch_size=10)
+        result = simulate_schedule(scheduler, random_cluster, tasks, rng=0)
+        assert sum(result.batch_sizes) == 30
+        assert all(size <= 10 for size in result.batch_sizes)
+
+    def test_time_horizon_truncates(self, small_cluster, small_tasks):
+        from repro.sim.simulation import DistributedSystemSimulation
+
+        full = simulate_schedule(EarliestFirstScheduler(), small_cluster, small_tasks, rng=0)
+        config = SimulationConfig(time_horizon=full.makespan * 0.6)
+        sim = DistributedSystemSimulation(
+            EarliestFirstScheduler(), small_cluster, small_tasks, config=config, rng=0
+        )
+        result = sim.run()
+        assert 1 <= result.metrics.tasks_completed < len(small_tasks)
+
+
+class TestSchedulerQuality:
+    def test_ef_beats_round_robin_on_heterogeneous_cluster(self):
+        cluster = heterogeneous_cluster(6, rate_range=(20.0, 500.0), mean_comm_cost=0.0, rng=0)
+        tasks = generate_workload(WorkloadSpec(n_tasks=120, sizes=UniformSizes(100, 1000)), rng=1)
+        ef = simulate_schedule(EarliestFirstScheduler(), cluster, tasks, rng=2)
+        rr = simulate_schedule(RoundRobinScheduler(), cluster, tasks, rng=2)
+        assert ef.makespan < rr.makespan
+
+    def test_pn_competitive_with_ef(self, random_cluster):
+        tasks = generate_workload(WorkloadSpec(n_tasks=80, sizes=UniformSizes(100, 1000)), rng=5)
+        ef = simulate_schedule(EarliestFirstScheduler(), random_cluster, tasks, rng=6)
+        pn = simulate_schedule(
+            PNScheduler(
+                n_processors=random_cluster.n_processors,
+                ga_config=default_pn_ga_config(max_generations=30),
+                rng=1,
+            ),
+            random_cluster,
+            tasks,
+            rng=6,
+        )
+        # PN should be at least in the same ballpark as the greedy heuristic
+        assert pn.makespan <= ef.makespan * 1.25

@@ -1,0 +1,128 @@
+"""Tests for the task and task-set models."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import WorkloadError
+from repro.workloads import Task, TaskSet
+
+
+class TestTask:
+    def test_valid_task(self):
+        t = Task(task_id=3, size_mflops=100.0, arrival_time=1.5)
+        assert t.task_id == 3 and t.size_mflops == 100.0 and t.arrival_time == 1.5
+
+    def test_default_arrival_is_zero(self):
+        assert Task(task_id=0, size_mflops=1.0).arrival_time == 0.0
+
+    @pytest.mark.parametrize("size", [0.0, -5.0, float("nan")])
+    def test_invalid_size_rejected(self, size):
+        with pytest.raises(WorkloadError):
+            Task(task_id=0, size_mflops=size)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(WorkloadError):
+            Task(task_id=-1, size_mflops=1.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(WorkloadError):
+            Task(task_id=0, size_mflops=1.0, arrival_time=-1.0)
+
+    def test_execution_time(self):
+        t = Task(task_id=0, size_mflops=500.0)
+        assert t.execution_time(100.0) == pytest.approx(5.0)
+
+    def test_execution_time_rejects_bad_rate(self):
+        with pytest.raises(Exception):
+            Task(task_id=0, size_mflops=500.0).execution_time(0.0)
+
+    def test_delayed_shifts_arrival(self):
+        t = Task(task_id=0, size_mflops=1.0, arrival_time=2.0)
+        assert t.delayed(3.0).arrival_time == 5.0
+        assert t.arrival_time == 2.0  # original untouched
+
+    def test_tasks_are_orderable(self):
+        assert Task(task_id=0, size_mflops=1.0) < Task(task_id=1, size_mflops=1.0)
+
+
+class TestTaskSet:
+    def test_len_and_iteration(self, small_tasks):
+        assert len(small_tasks) == 12
+        assert [t.task_id for t in small_tasks] == list(range(12))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(WorkloadError):
+            TaskSet([Task(task_id=1, size_mflops=1.0), Task(task_id=1, size_mflops=2.0)])
+
+    def test_get_and_contains(self, small_tasks):
+        assert small_tasks.get(3).size_mflops == 400.0
+        assert 3 in small_tasks and 99 not in small_tasks
+
+    def test_get_unknown_raises(self, small_tasks):
+        with pytest.raises(WorkloadError):
+            small_tasks.get(99)
+
+    def test_sizes_array_matches_tasks(self, small_tasks):
+        sizes = small_tasks.sizes()
+        assert sizes.shape == (12,)
+        assert sizes[3] == 400.0
+
+    def test_total_and_mean(self, small_tasks):
+        assert small_tasks.total_mflops() == pytest.approx(sum(small_tasks.sizes()))
+        assert small_tasks.mean_mflops() == pytest.approx(small_tasks.total_mflops() / 12)
+
+    def test_min_max(self, small_tasks):
+        assert small_tasks.min_mflops() == 50.0
+        assert small_tasks.max_mflops() == 400.0
+
+    def test_empty_set_statistics(self):
+        empty = TaskSet([])
+        assert len(empty) == 0
+        assert empty.total_mflops() == 0.0
+        assert empty.mean_mflops() == 0.0
+        assert empty.describe()["count"] == 0
+
+    def test_sorted_by_size(self, small_tasks):
+        ascending = small_tasks.sorted_by_size()
+        sizes = [t.size_mflops for t in ascending]
+        assert sizes == sorted(sizes)
+        descending = small_tasks.sorted_by_size(descending=True)
+        assert [t.size_mflops for t in descending] == sorted(sizes, reverse=True)
+
+    def test_sorted_by_arrival(self):
+        tasks = TaskSet(
+            [
+                Task(task_id=0, size_mflops=1.0, arrival_time=5.0),
+                Task(task_id=1, size_mflops=1.0, arrival_time=1.0),
+            ]
+        )
+        assert [t.task_id for t in tasks.sorted_by_arrival()] == [1, 0]
+
+    def test_subset_preserves_order(self, small_tasks):
+        sub = small_tasks.subset([5, 2, 9])
+        assert [t.task_id for t in sub] == [5, 2, 9]
+
+    def test_head(self, small_tasks):
+        assert len(small_tasks.head(3)) == 3
+        assert len(small_tasks.head(100)) == 12
+        assert len(small_tasks.head(0)) == 0
+
+    def test_concat(self, small_tasks):
+        other = TaskSet([Task(task_id=100, size_mflops=10.0)])
+        combined = small_tasks.concat(other)
+        assert len(combined) == 13
+        assert 100 in combined
+
+    def test_concat_with_clashing_ids_rejected(self, small_tasks):
+        with pytest.raises(WorkloadError):
+            small_tasks.concat(TaskSet([Task(task_id=0, size_mflops=1.0)]))
+
+    def test_describe_keys(self, small_tasks):
+        desc = small_tasks.describe()
+        for key in ("count", "total_mflops", "mean_mflops", "std_mflops", "min_mflops", "max_mflops"):
+            assert key in desc
+
+    def test_equality(self, small_tasks):
+        clone = TaskSet(list(small_tasks))
+        assert clone == small_tasks
+        assert clone != small_tasks.head(3)
