@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Benchmark: serial vs process-parallel scheduler comparison.
+
+Times `compare_schedulers` once through `SerialExecutor` and once through
+`ParallelExecutor`, verifies the aggregates are bit-identical, and writes a
+BENCH json record.  On an N-core machine a paper-scale comparison
+(`--scale paper`, 20 repeats) is expected to speed up by roughly
+min(N, repeats) minus process-pool overhead; on a single core the parallel
+run only measures that overhead.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/parallel_speedup.py \
+        --scale medium --repeats 8 --jobs 4 --output benchmarks/BENCH_parallel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro.experiments import compare_schedulers, get_scale
+from repro.workloads import normal_paper_workload
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="medium", help="experiment scale preset")
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="override the scale's repeat count"
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=os.cpu_count() or 2, help="parallel worker count"
+    )
+    parser.add_argument("--comm-cost", type=float, default=10.0, help="mean comm cost (s)")
+    parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    parser.add_argument("--output", default=None, help="write the BENCH json here")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    scale = get_scale(args.scale)
+    if args.repeats:
+        scale = scale.scaled(repeats=args.repeats)
+    spec = normal_paper_workload(scale.n_tasks)
+
+    timings = {}
+    results = {}
+    for label, jobs in (("serial", 1), (f"parallel[{args.jobs}]", args.jobs)):
+        start = time.perf_counter()
+        results[label] = compare_schedulers(
+            spec,
+            scale.scaled(jobs=jobs),
+            mean_comm_cost=args.comm_cost,
+            seed=args.seed,
+        )
+        timings[label] = time.perf_counter() - start
+
+    serial_key, parallel_key = list(timings)
+    identical = (
+        results[serial_key].makespans() == results[parallel_key].makespans()
+        and results[serial_key].efficiencies() == results[parallel_key].efficiencies()
+    )
+    record = {
+        "benchmark": "parallel_speedup/compare_schedulers",
+        "scale": scale.name,
+        "repeats": scale.repeats,
+        "n_tasks": scale.n_tasks,
+        "n_processors": scale.n_processors,
+        "jobs": args.jobs,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "seconds": {k: round(v, 3) for k, v in timings.items()},
+        "speedup": round(timings[serial_key] / timings[parallel_key], 3),
+        "aggregates_bit_identical": identical,
+    }
+    print(json.dumps(record, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    if not identical:
+        raise SystemExit("serial and parallel aggregates diverged")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,9 @@ The package provides:
 * :mod:`repro.sim` — the discrete-event simulator of the master/worker
   dispatch protocol and the paper's metrics (makespan, efficiency);
 * :mod:`repro.experiments` — the harness reproducing every figure of the
-  paper's evaluation (Figs. 3–11).
+  paper's evaluation (Figs. 3–11);
+* :mod:`repro.parallel` — the experiment executors that shard independent
+  repeats across worker processes with deterministic, bit-identical results.
 
 Quickstart
 ----------
@@ -50,6 +52,12 @@ from .core import (
     default_pn_ga_config,
 )
 from .ga import BatchProblem, GAConfig, GAResult, GeneticAlgorithm
+from .parallel import (
+    ExperimentExecutor,
+    ParallelExecutor,
+    SerialExecutor,
+    executor_from_jobs,
+)
 from .schedulers import (
     ALL_SCHEDULER_NAMES,
     EarliestFirstScheduler,
@@ -132,6 +140,11 @@ __all__ = [
     "normal_paper_workload",
     "uniform_standard_workload",
     "paper_workloads",
+    # parallel
+    "ExperimentExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "executor_from_jobs",
     # sim
     "SimulationConfig",
     "SimulationResult",

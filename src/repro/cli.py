@@ -6,6 +6,12 @@ Usage examples::
     python -m repro.cli figure5 --scale small --seed 42
     python -m repro.cli all --scale smoke --output results/
     python -m repro.cli compare --workload normal --comm-cost 20 --scale small
+    python -m repro.cli fig6 --scale medium --jobs 4
+
+``--jobs N`` shards the independent repeats of an experiment across ``N``
+worker processes (see :mod:`repro.parallel`); all stochastic results are
+bit-identical to a serial run with the same seed (only measured wall-clock
+values, e.g. fig4's seconds, vary with contention).
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from .experiments.config import SCALES, get_scale
 from .experiments.figures import FIGURES, list_figures, run_figure
 from .experiments.reporting import comparison_table, experiment_summary, figure_report
 from .experiments.runner import compare_schedulers
+from .parallel import executor_from_jobs
 from .util.errors import ReproError
 from .workloads.suites import paper_workloads, workload_by_name
 
@@ -77,6 +84,29 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help="experiment scale preset (default: small)",
     )
     parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes to shard independent repeats across "
+            "(default: the scale preset's jobs setting, i.e. serial; "
+            "0 = one per CPU core); stochastic aggregates are identical "
+            "for any value, only measured wall-clock values vary"
+        ),
+    )
+
+
+def _scale_from_args(args: argparse.Namespace):
+    """The selected scale preset, with ``--jobs`` applied when given."""
+    scale = get_scale(args.scale)
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+        scale = scale.scaled(jobs=jobs)
+    return scale
 
 
 def _cmd_list() -> int:
@@ -89,47 +119,62 @@ def _cmd_list() -> int:
         print(
             f"  {name:6s} tasks={scale.n_tasks}/{scale.n_tasks_large} "
             f"procs={scale.n_processors} batch={scale.batch_size} "
-            f"generations={scale.max_generations} repeats={scale.repeats}"
+            f"generations={scale.max_generations} repeats={scale.repeats} "
+            f"jobs={scale.jobs}"
         )
     return 0
 
 
 def _cmd_figure(figure_id: str, args: argparse.Namespace) -> int:
-    scale = get_scale(args.scale)
-    result = run_figure(figure_id, scale=scale, seed=args.seed)
+    scale = _scale_from_args(args)
+    executor = executor_from_jobs(scale.jobs)
+    try:
+        result = run_figure(figure_id, scale=scale, seed=args.seed, executor=executor)
+    finally:
+        executor.close()
     print(figure_report(result))
     return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
-    scale = get_scale(args.scale)
+    scale = _scale_from_args(args)
+    # One executor (and hence one worker pool) shared by all nine figures.
+    executor = executor_from_jobs(scale.jobs)
     results = []
-    for figure_id in list_figures():
-        print(f"== running {figure_id} at scale {scale.name} ==", file=sys.stderr)
-        result = run_figure(figure_id, scale=scale, seed=args.seed)
-        results.append(result)
-        report = figure_report(result)
-        print(report)
-        if args.output:
-            os.makedirs(args.output, exist_ok=True)
-            path = os.path.join(args.output, f"{figure_id}.txt")
-            with open(path, "w", encoding="utf8") as handle:
-                handle.write(report)
+    try:
+        for figure_id in list_figures():
+            print(f"== running {figure_id} at scale {scale.name} ==", file=sys.stderr)
+            result = run_figure(figure_id, scale=scale, seed=args.seed, executor=executor)
+            results.append(result)
+            report = figure_report(result)
+            print(report)
+            if args.output:
+                os.makedirs(args.output, exist_ok=True)
+                path = os.path.join(args.output, f"{figure_id}.txt")
+                with open(path, "w", encoding="utf8") as handle:
+                    handle.write(report)
+    finally:
+        executor.close()
     print(experiment_summary(results))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    scale = get_scale(args.scale)
+    scale = _scale_from_args(args)
     n_tasks = args.tasks or scale.n_tasks
     spec = workload_by_name(args.workload, n_tasks)
-    comparison = compare_schedulers(
-        spec,
-        scale,
-        mean_comm_cost=args.comm_cost,
-        seed=args.seed,
-        condition={"workload": args.workload, "mean_comm_cost": args.comm_cost},
-    )
+    executor = executor_from_jobs(scale.jobs)
+    try:
+        comparison = compare_schedulers(
+            spec,
+            scale,
+            mean_comm_cost=args.comm_cost,
+            seed=args.seed,
+            condition={"workload": args.workload, "mean_comm_cost": args.comm_cost},
+            executor=executor,
+        )
+    finally:
+        executor.close()
     print(comparison_table(comparison))
     return 0
 

@@ -49,6 +49,11 @@ class ExperimentScale:
         Mean communication cost used by the makespan bar figures.
     convergence_generations:
         Generation budget of the Fig. 3 convergence study.
+    jobs:
+        Worker processes used to shard independent repeats (and sweep points
+        / figure conditions); ``1`` runs everything serially in-process.
+        Aggregates are bit-identical for any value — see
+        :mod:`repro.parallel`.
     """
 
     name: str
@@ -61,6 +66,7 @@ class ExperimentScale:
     comm_cost_means: Sequence[float] = field(default_factory=tuple)
     bar_comm_cost_mean: float = 20.0
     convergence_generations: int = 100
+    jobs: int = 1
 
     def __post_init__(self) -> None:
         require_positive_int(self.n_tasks, "n_tasks")
@@ -70,6 +76,7 @@ class ExperimentScale:
         require_positive_int(self.max_generations, "max_generations")
         require_positive_int(self.repeats, "repeats")
         require_positive_int(self.convergence_generations, "convergence_generations")
+        require_positive_int(self.jobs, "jobs")
         if not self.comm_cost_means:
             raise ConfigurationError("comm_cost_means must contain at least one value")
         if any(c <= 0 for c in self.comm_cost_means):

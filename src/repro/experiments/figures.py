@@ -10,7 +10,6 @@ benchmark suite both go through :func:`run_figure`.
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -18,8 +17,10 @@ import numpy as np
 
 from ..cluster.topology import heterogeneous_cluster
 from ..core.pn_scheduler import default_pn_ga_config
-from ..ga.engine import GAConfig, GeneticAlgorithm
+from ..ga.engine import GAConfig
 from ..ga.problem import BatchProblem
+from ..parallel.executor import ExperimentExecutor, resolve_executor
+from ..parallel.jobs import GARunJob, run_ga_job
 from ..schedulers.registry import ALL_SCHEDULER_NAMES
 from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike, ensure_rng, spawn_rngs
@@ -134,13 +135,16 @@ def figure3(
     seed: RNGLike = None,
     *,
     rebalance_levels: Sequence[int] = (0, 1, 50),
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
     """Fig. 3 — average reduction in makespan after each GA generation.
 
     Runs the GA on one batch with 0 ("pure GA"), 1 and 50 re-balances per
     individual per generation, and reports the fractional reduction of the
     best makespan relative to the initial population, averaged over
-    ``scale.repeats`` independent batches.
+    ``scale.repeats`` independent batches.  The ``levels × repeats`` GA runs
+    are independent jobs sharded across ``scale.jobs`` worker processes (or
+    the explicit *executor*); the averaged curves are bit-identical either way.
 
     The initial population for this study uses the fully randomised end of
     the paper's list-scheduling seeding (every task placed randomly), so the
@@ -150,26 +154,35 @@ def figure3(
     """
     scale = scale or default_scale()
     rng = ensure_rng(seed)
+    executor = resolve_executor(executor, scale.jobs)
     generations = scale.convergence_generations
     labels = {0: "pure GA", 1: "1 rebalance"}
     # Pair the comparison: every rebalance level sees the same batch problems
     # and the same GA seeds, so the curves differ only in the re-balancing.
     problems = [_convergence_problem(scale, rng) for _ in range(scale.repeats)]
     ga_seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(scale.repeats)]
-    series: Dict[str, List[float]] = {}
-    for level in rebalance_levels:
-        label = labels.get(level, f"{level} rebalances")
-        histories = []
-        for problem, ga_seed in zip(problems, ga_seeds):
-            config = GAConfig(
+    jobs = [
+        GARunJob(
+            config=GAConfig(
                 population_size=20,
                 max_generations=generations,
-                n_rebalances=level,
+                n_rebalances=int(level),
                 seeded_initialisation=True,
                 random_init_fraction=1.0,
-            )
-            result = GeneticAlgorithm(config, rng=ga_seed).evolve(problem)
-            history = result.reduction_history()
+            ),
+            problem=problem,
+            ga_seed=ga_seed,
+        )
+        for level in rebalance_levels
+        for problem, ga_seed in zip(problems, ga_seeds)
+    ]
+    outcomes = executor.map(run_ga_job, jobs)
+    series: Dict[str, List[float]] = {}
+    for k, level in enumerate(rebalance_levels):
+        label = labels.get(level, f"{level} rebalances")
+        histories = []
+        for outcome in outcomes[k * scale.repeats : (k + 1) * scale.repeats]:
+            history = outcome.reduction_history
             # Pad (should not normally be needed: no other stop condition fires).
             if history.size < generations:
                 history = np.pad(history, (0, generations - history.size), mode="edge")
@@ -192,6 +205,7 @@ def figure3(
             "n_processors": scale.n_processors,
             "generations": generations,
             "repeats": scale.repeats,
+            "executor": executor.describe(),
         },
     )
 
@@ -205,33 +219,45 @@ def figure4(
     seed: RNGLike = None,
     *,
     rebalance_levels: Sequence[int] = (0, 1, 2, 5, 10, 20),
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
     """Fig. 4 — wall-clock time of a GA run vs re-balances per generation.
 
     The paper times the scheduling of 10,000 tasks; the shape of interest is
     the *linear* growth with the number of re-balances, which is preserved at
-    any batch size, so this reproduction times a single GA batch.
+    any batch size, so this reproduction times a single GA batch.  Each GA
+    run is timed inside its own job.  Note that unlike the stochastic
+    figures, this figure's y-values are wall-clock *measurements*: with
+    ``jobs > 1`` concurrent workers contend for cores, which inflates and
+    adds noise to the per-run times, so time this figure serially when the
+    absolute values matter (the linear shape survives either way).
     """
     scale = scale or default_scale()
     rng = ensure_rng(seed)
+    executor = resolve_executor(executor, scale.jobs)
     # Time every rebalance level on the same batch problems and GA seeds.
     problems = [_convergence_problem(scale, rng) for _ in range(scale.repeats)]
     ga_seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(scale.repeats)]
-    times: List[float] = []
-    for level in rebalance_levels:
-        elapsed = 0.0
-        for problem, ga_seed in zip(problems, ga_seeds):
-            config = GAConfig(
+    jobs = [
+        GARunJob(
+            config=GAConfig(
                 population_size=20,
                 max_generations=scale.convergence_generations,
                 n_rebalances=int(level),
                 seeded_initialisation=True,
                 random_init_fraction=1.0,
-            )
-            start = _time.perf_counter()
-            GeneticAlgorithm(config, rng=ga_seed).evolve(problem)
-            elapsed += _time.perf_counter() - start
-        times.append(elapsed / scale.repeats)
+            ),
+            problem=problem,
+            ga_seed=ga_seed,
+        )
+        for level in rebalance_levels
+        for problem, ga_seed in zip(problems, ga_seeds)
+    ]
+    outcomes = executor.map(run_ga_job, jobs)
+    times: List[float] = []
+    for k in range(len(rebalance_levels)):
+        per_level = outcomes[k * scale.repeats : (k + 1) * scale.repeats]
+        times.append(sum(o.elapsed_seconds for o in per_level) / scale.repeats)
     return FigureResult(
         figure_id="fig4",
         title="Time taken to run the GA with varying numbers of re-balances per generation",
@@ -245,6 +271,7 @@ def figure4(
             "batch_size": scale.batch_size,
             "generations": scale.convergence_generations,
             "repeats": scale.repeats,
+            "executor": executor.describe(),
         },
     )
 
@@ -260,8 +287,10 @@ def _efficiency_sweep(
     scale: ExperimentScale,
     seed: RNGLike,
     expectation: str,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
     rng = ensure_rng(seed)
+    executor = resolve_executor(executor, scale.jobs)
     spec = workload_factory(scale.n_tasks)
     # Sweep from the largest mean cost (smallest 1/cost) to the smallest, so the
     # x axis is increasing like the paper's.
@@ -276,6 +305,7 @@ def _efficiency_sweep(
             mean_comm_cost=cost,
             seed=rng,
             condition={"figure": figure_id, "mean_comm_cost": cost},
+            executor=executor,
         )
         comparisons.append(comparison)
         for name in ALL_SCHEDULER_NAMES:
@@ -294,12 +324,18 @@ def _efficiency_sweep(
             "n_processors": scale.n_processors,
             "workload": spec.sizes.name,
             "repeats": scale.repeats,
+            "executor": executor.describe(),
         },
         comparisons=comparisons,
     )
 
 
-def figure5(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> FigureResult:
+def figure5(
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
     """Fig. 5 — efficiency vs 1/mean comm cost, normal(1000, 9e5) task sizes."""
     return _efficiency_sweep(
         "fig5",
@@ -312,10 +348,16 @@ def figure5(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> Fi
             "PN gives the best efficiency across the sweep; efficiency increases as the "
             "mean communication cost decreases (1/cost increases)."
         ),
+        executor=executor,
     )
 
 
-def figure7(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> FigureResult:
+def figure7(
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
     """Fig. 7 — efficiency vs 1/mean comm cost, uniform[10, 1000] task sizes."""
     return _efficiency_sweep(
         "fig7",
@@ -328,6 +370,7 @@ def figure7(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> Fi
             "The two GA schedulers (PN and ZO) are clearly more efficient than the simple "
             "heuristics; PN is the best overall."
         ),
+        executor=executor,
     )
 
 
@@ -342,8 +385,10 @@ def _makespan_bars(
     scale: ExperimentScale,
     seed: RNGLike,
     expectation: str,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
     rng = ensure_rng(seed)
+    executor = resolve_executor(executor, scale.jobs)
     spec = workload_factory(scale.n_tasks_large)
     comparison = compare_schedulers(
         spec,
@@ -351,6 +396,7 @@ def _makespan_bars(
         mean_comm_cost=scale.bar_comm_cost_mean,
         seed=rng,
         condition={"figure": figure_id, "mean_comm_cost": scale.bar_comm_cost_mean},
+        executor=executor,
     )
     series = {
         name: [comparison.schedulers[name].makespan.mean] for name in ALL_SCHEDULER_NAMES
@@ -370,12 +416,18 @@ def _makespan_bars(
             "workload": spec.sizes.name,
             "mean_comm_cost": scale.bar_comm_cost_mean,
             "repeats": scale.repeats,
+            "executor": executor.describe(),
         },
         comparisons=[comparison],
     )
 
 
-def figure6(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> FigureResult:
+def figure6(
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
     """Fig. 6 — makespan per scheduler, normal(1000 MFLOPs, 9e5) task sizes."""
     return _makespan_bars(
         "fig6",
@@ -384,10 +436,16 @@ def figure6(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> Fi
         scale or default_scale(),
         seed,
         expectation="PN outperforms all other schedulers in total execution time.",
+        executor=executor,
     )
 
 
-def figure8(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> FigureResult:
+def figure8(
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
     """Fig. 8 — makespan per scheduler, uniform[10, 100] MFLOPs task sizes."""
     return _makespan_bars(
         "fig8",
@@ -399,10 +457,16 @@ def figure8(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> Fi
             "With a narrow 1:10 size range most schedulers produce similarly efficient "
             "schedules; PN remains among the best."
         ),
+        executor=executor,
     )
 
 
-def figure9(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> FigureResult:
+def figure9(
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
     """Fig. 9 — makespan per scheduler, uniform[10, 10000] MFLOPs task sizes."""
     return _makespan_bars(
         "fig9",
@@ -414,10 +478,16 @@ def figure9(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> Fi
             "With a wide 1:1000 size range the differences between schedulers become "
             "accentuated; PN has the lowest makespan."
         ),
+        executor=executor,
     )
 
 
-def figure10(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> FigureResult:
+def figure10(
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
     """Fig. 10 — makespan per scheduler, Poisson(mean 10 MFLOPs) task sizes."""
     return _makespan_bars(
         "fig10",
@@ -429,10 +499,16 @@ def figure10(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> F
             "PN performs best, followed by MM; MX performs poorly because every task is "
             "small and near-uniform."
         ),
+        executor=executor,
     )
 
 
-def figure11(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> FigureResult:
+def figure11(
+    scale: Optional[ExperimentScale] = None,
+    seed: RNGLike = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
+) -> FigureResult:
     """Fig. 11 — makespan per scheduler, Poisson(mean 100 MFLOPs) task sizes."""
     return _makespan_bars(
         "fig11",
@@ -443,6 +519,7 @@ def figure11(scale: Optional[ExperimentScale] = None, seed: RNGLike = None) -> F
         expectation=(
             "All batch schedulers perform well; the immediate-mode schedulers lag behind."
         ),
+        executor=executor,
     )
 
 
@@ -472,11 +549,20 @@ def run_figure(
     figure_id: str,
     scale: Optional[ExperimentScale] = None,
     seed: RNGLike = None,
+    *,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
-    """Run the experiment reproducing *figure_id* (``"fig3"`` … ``"fig11"``)."""
+    """Run the experiment reproducing *figure_id* (``"fig3"`` … ``"fig11"``).
+
+    *executor* (or ``scale.jobs``) controls how the figure's independent
+    repeats / GA runs are sharded across worker processes.  All stochastic
+    results are bit-identical regardless; only measured wall-clock values
+    (Fig. 4's seconds) vary with the run and can be inflated by core
+    contention when sharded.
+    """
     key = figure_id.strip().lower().replace("figure", "fig")
     if key not in FIGURES:
         raise ConfigurationError(
             f"unknown figure {figure_id!r}; expected one of {list(FIGURES)}"
         )
-    return FIGURES[key](scale=scale, seed=seed)
+    return FIGURES[key](scale=scale, seed=seed, executor=executor)

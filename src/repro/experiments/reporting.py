@@ -44,7 +44,10 @@ def comparison_table(result: ComparisonResult, *, title: Optional[str] = None) -
             ]
         )
     condition = ", ".join(f"{k}={v}" for k, v in result.condition.items())
-    full_title = title or f"Scheduler comparison ({condition}; {result.repeats} repeats)"
+    full_title = title or (
+        f"Scheduler comparison ({condition}; {result.repeats} repeats; "
+        f"executor={result.executor})"
+    )
     return format_table(headers, rows, title=full_title)
 
 

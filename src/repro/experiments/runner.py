@@ -5,6 +5,14 @@ the *same* sequence of randomly generated workloads and clusters (the paper's
 "all schedulers were presented with the same set of tasks"), repeats the
 whole simulation ``scale.repeats`` times with fresh workloads, and returns
 per-scheduler summaries of makespan and efficiency.
+
+Repeats are independent jobs, each seeded from its own
+:class:`numpy.random.SeedSequence` child stream spawned up-front by the
+parent, and are routed through an :class:`~repro.parallel.ExperimentExecutor`
+(serial by default, ``scale.jobs > 1`` shards them across worker processes).
+Because each repeat's randomness is fully determined by its own stream and
+results are aggregated in repeat order, serial and parallel runs with the
+same master seed produce bit-identical aggregates.
 """
 
 from __future__ import annotations
@@ -15,12 +23,13 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..cluster.cluster import Cluster
-from ..cluster.topology import heterogeneous_cluster
-from ..schedulers.registry import ALL_SCHEDULER_NAMES, make_scheduler
-from ..sim.simulation import SimulationConfig, SimulationResult, simulate_schedule
+from ..parallel.executor import ExperimentExecutor, resolve_executor
+from ..parallel.jobs import ComparisonRepeatJob, run_comparison_repeat
+from ..schedulers.registry import ALL_SCHEDULER_NAMES
+from ..sim.simulation import SimulationConfig
 from ..util.errors import ConfigurationError
-from ..util.rng import RNGLike, ensure_rng, spawn_rngs
-from ..workloads.generator import WorkloadSpec, generate_workload
+from ..util.rng import RNGLike, ensure_rng
+from ..workloads.generator import WorkloadSpec
 from .config import ExperimentScale
 from .stats import SampleSummary, summarise
 
@@ -55,6 +64,9 @@ class ComparisonResult:
     condition: Dict[str, object]
     schedulers: Dict[str, SchedulerComparison]
     repeats: int
+    #: Which executor produced the repeats (``"serial"`` or ``"process[N]"``);
+    #: recorded so persisted results document how they were computed.
+    executor: str = "serial"
 
     def makespans(self) -> Dict[str, float]:
         """Mean makespan per scheduler (insertion order preserved)."""
@@ -95,8 +107,16 @@ def compare_schedulers(
     seed: RNGLike = None,
     condition: Optional[Dict[str, object]] = None,
     sim_config: Optional[SimulationConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> ComparisonResult:
     """Run every scheduler on identical workloads and summarise the outcomes.
+
+    Each repeat is an independent :class:`~repro.parallel.ComparisonRepeatJob`
+    seeded from its own ``SeedSequence`` child stream; the executor maps the
+    job list and the outcomes are aggregated in repeat order.  A parallel run
+    (``scale.jobs > 1`` or an explicit :class:`~repro.parallel.ParallelExecutor`)
+    therefore returns exactly the same aggregates as the serial run with the
+    same master seed.
 
     Parameters
     ----------
@@ -104,7 +124,9 @@ def compare_schedulers(
         The workload shape (size distribution, arrival process); a fresh task
         set is drawn from it for every repeat and shared by all schedulers.
     scale:
-        Experiment scale (processor count, batch size, GA budget, repeats).
+        Experiment scale (processor count, batch size, GA budget, repeats,
+        and ``jobs`` — the number of worker processes the repeats are
+        sharded across).
     mean_comm_cost:
         Mean per-link communication cost of the generated cluster (seconds).
     scheduler_names:
@@ -112,54 +134,57 @@ def compare_schedulers(
     cluster_factory:
         Optional custom cluster builder ``f(rng) -> Cluster``; the default
         builds a heterogeneous cluster per repeat with the requested mean
-        communication cost.
+        communication cost.  Must be picklable to run in worker processes;
+        unpicklable factories transparently fall back to in-process execution.
     seed:
         Master seed; per-repeat and per-scheduler streams are derived from it.
     condition:
         Free-form description of the experimental condition stored in the
         result (e.g. ``{"figure": "5", "mean_comm_cost": 20.0}``).
+    executor:
+        Explicit executor to route the repeats through; overrides
+        ``scale.jobs`` when given.
     """
     names = list(scheduler_names or ALL_SCHEDULER_NAMES)
     unknown = [n for n in names if n.upper() not in ALL_SCHEDULER_NAMES]
     if unknown:
         raise ConfigurationError(f"unknown schedulers requested: {unknown}")
+    executor = resolve_executor(executor, scale.jobs)
 
+    # One 64-bit draw per repeat from the master stream, exactly as the serial
+    # harness has always consumed it; each draw seeds the repeat's private
+    # SeedSequence so workers need no shared random state.
     master_rng = ensure_rng(seed)
+    repeat_seeds = [
+        int(master_rng.integers(0, 2**63 - 1)) for _ in range(scale.repeats)
+    ]
+    jobs = [
+        ComparisonRepeatJob(
+            seed_entropy=repeat_seed,
+            workload_spec=workload_spec,
+            scheduler_names=tuple(names),
+            n_processors=scale.n_processors,
+            batch_size=scale.batch_size,
+            max_generations=scale.max_generations,
+            mean_comm_cost=mean_comm_cost,
+            sim_config=sim_config,
+            cluster_factory=cluster_factory,
+        )
+        for repeat_seed in repeat_seeds
+    ]
+    outcomes = executor.map(run_comparison_repeat, jobs)
+
     per_scheduler: Dict[str, Dict[str, List[float]]] = {
         name: {"makespan": [], "efficiency": [], "response": [], "invocations": []}
         for name in names
     }
-
-    for repeat in range(scale.repeats):
-        workload_rng, cluster_rng, sim_seed_rng, sched_seed_rng = spawn_rngs(master_rng, 4)
-        tasks = generate_workload(workload_spec, workload_rng)
-        if cluster_factory is not None:
-            cluster = cluster_factory(cluster_rng)
-        else:
-            cluster = heterogeneous_cluster(
-                scale.n_processors,
-                mean_comm_cost=mean_comm_cost,
-                rng=cluster_rng,
-            )
-        sim_seed = int(sim_seed_rng.integers(0, 2**31 - 1))
-
+    for outcome in outcomes:
         for name in names:
-            scheduler = make_scheduler(
-                name,
-                n_processors=cluster.n_processors,
-                batch_size=scale.batch_size,
-                max_generations=scale.max_generations,
-                rng=int(sched_seed_rng.integers(0, 2**31 - 1)),
-            )
-            # Every scheduler sees the same workload, cluster and the same
-            # stream of communication-cost noise (identical sim seed).
-            result: SimulationResult = simulate_schedule(
-                scheduler, cluster, tasks, config=sim_config, rng=sim_seed
-            )
-            per_scheduler[name]["makespan"].append(result.makespan)
-            per_scheduler[name]["efficiency"].append(result.efficiency)
-            per_scheduler[name]["response"].append(result.metrics.mean_response_time)
-            per_scheduler[name]["invocations"].append(float(result.scheduler_invocations))
+            makespan, efficiency, response, invocations = outcome.metrics[name]
+            per_scheduler[name]["makespan"].append(makespan)
+            per_scheduler[name]["efficiency"].append(efficiency)
+            per_scheduler[name]["response"].append(response)
+            per_scheduler[name]["invocations"].append(invocations)
 
     comparisons = {
         name: SchedulerComparison(
@@ -175,4 +200,5 @@ def compare_schedulers(
         condition=dict(condition or {"mean_comm_cost": mean_comm_cost}),
         schedulers=comparisons,
         repeats=scale.repeats,
+        executor=executor.describe(),
     )

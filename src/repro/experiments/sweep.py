@@ -15,8 +15,10 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..cluster.topology import heterogeneous_cluster
-from ..ga.engine import GAConfig, GAResult, GeneticAlgorithm
+from ..ga.engine import GAConfig
 from ..ga.problem import BatchProblem
+from ..parallel.executor import ExperimentExecutor, resolve_executor
+from ..parallel.jobs import GARunJob, run_ga_job
 from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike, ensure_rng, spawn_rngs
 from ..workloads.generator import generate_workload
@@ -44,6 +46,8 @@ class SweepResult:
 
     parameter: str
     points: List[SweepPoint] = field(default_factory=list)
+    #: Which executor ran the GA jobs (``"serial"`` or ``"process[N]"``).
+    executor: str = "serial"
 
     def values(self) -> List[object]:
         """The swept parameter values, in sweep order."""
@@ -89,18 +93,30 @@ def sweep_ga_parameter(
     seed: RNGLike = None,
     base_config: Optional[GAConfig] = None,
     repeats: Optional[int] = None,
+    executor: Optional[ExperimentExecutor] = None,
 ) -> SweepResult:
     """Sweep one :class:`~repro.ga.engine.GAConfig` field over *values*.
 
     Every value is evaluated on freshly generated (but per-repeat identical
     across values) batch problems, and the best makespan, the fractional
     makespan reduction, the generations used and the wall time are summarised.
+
+    The problems and GA seeds are pre-drawn once per repeat, so all
+    ``len(values) * repeats`` GA runs are independent jobs; they are routed
+    through an :class:`~repro.parallel.ExperimentExecutor` (``scale.jobs``
+    worker processes, or the explicit *executor*) and re-grouped by swept
+    value in order, making the stochastic aggregates (makespan, reduction,
+    generations) bit-identical between serial and parallel runs.  The
+    ``wall_time`` summary is a measurement and therefore varies run to run;
+    with ``jobs > 1`` it also absorbs core contention, so sweep serially
+    when absolute timings matter.
     """
     scale = scale or default_scale()
     repeats = repeats or scale.repeats
     if repeats <= 0:
         raise ConfigurationError("repeats must be positive")
     rng = ensure_rng(seed)
+    executor = resolve_executor(executor, scale.jobs)
     base = base_config or GAConfig(
         population_size=20,
         max_generations=scale.convergence_generations,
@@ -114,24 +130,25 @@ def sweep_ga_parameter(
     problems = [make_benchmark_problem(scale, rng) for _ in range(repeats)]
     ga_seeds = [int(ensure_rng(rng).integers(0, 2**31 - 1)) for _ in range(repeats)]
 
-    result = SweepResult(parameter=parameter)
+    jobs: List[GARunJob] = []
     for value in values:
-        config_kwargs = {**base.__dict__, parameter: value}
-        config = GAConfig(**config_kwargs)
-        makespans, reductions, generations, wall_times = [], [], [], []
-        for problem, ga_seed in zip(problems, ga_seeds):
-            ga_result: GAResult = GeneticAlgorithm(config, rng=ga_seed).evolve(problem)
-            makespans.append(ga_result.best_makespan)
-            reductions.append(ga_result.reduction_fraction)
-            generations.append(float(ga_result.generations))
-            wall_times.append(ga_result.wall_time_seconds)
+        config = GAConfig(**{**base.__dict__, parameter: value})
+        jobs.extend(
+            GARunJob(config=config, problem=problem, ga_seed=ga_seed)
+            for problem, ga_seed in zip(problems, ga_seeds)
+        )
+    outcomes = executor.map(run_ga_job, jobs)
+
+    result = SweepResult(parameter=parameter, executor=executor.describe())
+    for i, value in enumerate(values):
+        per_value = outcomes[i * repeats : (i + 1) * repeats]
         result.points.append(
             SweepPoint(
                 value=value,
-                makespan=summarise(makespans),
-                reduction=summarise(reductions),
-                generations=summarise(generations),
-                wall_time=summarise(wall_times),
+                makespan=summarise([o.best_makespan for o in per_value]),
+                reduction=summarise([o.reduction_fraction for o in per_value]),
+                generations=summarise([float(o.generations) for o in per_value]),
+                wall_time=summarise([o.wall_time_seconds for o in per_value]),
             )
         )
     return result

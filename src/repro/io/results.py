@@ -45,6 +45,7 @@ def figure_to_dict(figure: FigureResult) -> Dict:
             {
                 "condition": comparison.condition,
                 "repeats": comparison.repeats,
+                "executor": comparison.executor,
                 "schedulers": {
                     name: {
                         "makespan_mean": cmp.makespan.mean,
@@ -145,6 +146,7 @@ def comparison_to_csv(comparison: ComparisonResult) -> str:
             "efficiency_mean",
             "efficiency_std",
             "repeats",
+            "executor",
         ]
     )
     for name, cmp in comparison.schedulers.items():
@@ -156,6 +158,7 @@ def comparison_to_csv(comparison: ComparisonResult) -> str:
                 cmp.efficiency.mean,
                 cmp.efficiency.std,
                 comparison.repeats,
+                comparison.executor,
             ]
         )
     return buffer.getvalue()

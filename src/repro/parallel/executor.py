@@ -1,0 +1,183 @@
+"""Experiment executors: serial and process-parallel job mapping.
+
+The experiment harness repeats every measurement 20–50 times at paper scale,
+and each repeat is statistically independent (its randomness comes from a
+dedicated :class:`numpy.random.SeedSequence` child stream).  That makes the
+repeat loop embarrassingly parallel, so the harness routes it through an
+:class:`ExperimentExecutor`:
+
+* :class:`SerialExecutor` runs jobs in-process, one after another — the
+  reference behaviour, and the default;
+* :class:`ParallelExecutor` shards jobs across a
+  :class:`concurrent.futures.ProcessPoolExecutor`.
+
+Both executors apply the *same* worker function to the *same* job specs and
+return results in submission order, so aggregates computed from a parallel
+run are bit-identical to the serial run with the same master seed.  Job specs
+and worker functions must be picklable for the parallel path (module-level
+functions plus plain dataclasses of numpy arrays and scalars); if a job
+cannot be pickled the parallel executor transparently degrades to in-process
+execution rather than failing the experiment.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from ..util.errors import ConfigurationError
+
+__all__ = [
+    "ExperimentExecutor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "executor_from_jobs",
+    "resolve_executor",
+]
+
+J = TypeVar("J")
+R = TypeVar("R")
+
+
+class ExperimentExecutor(ABC):
+    """Maps a worker function over a list of independent job specs.
+
+    Implementations must preserve job order in the returned results and must
+    not reorder, drop or duplicate jobs: the experiment harness relies on
+    ``results[i]`` being ``fn(jobs[i])`` so that aggregate statistics do not
+    depend on which executor ran them.
+    """
+
+    #: Number of worker processes the executor uses (1 for serial).
+    jobs: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[J], R], jobs: Sequence[J]) -> List[R]:
+        """Apply *fn* to every job and return the results in job order."""
+
+    def describe(self) -> str:
+        """Short identifier recorded in experiment results.
+
+        Callers record this *after* mapping, so implementations may reflect
+        what actually happened (e.g. a serial fallback).
+        """
+        return "serial"
+
+    def close(self) -> None:
+        """Release any worker resources (no-op for in-process executors)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(jobs={self.jobs})"
+
+
+class SerialExecutor(ExperimentExecutor):
+    """Run every job in the current process, in order."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[J], R], jobs: Sequence[J]) -> List[R]:
+        return [fn(job) for job in jobs]
+
+    def describe(self) -> str:
+        return "serial"
+
+
+class ParallelExecutor(ExperimentExecutor):
+    """Shard jobs across worker processes.
+
+    The underlying :class:`~concurrent.futures.ProcessPoolExecutor` is
+    created lazily on the first parallel ``map`` and reused for subsequent
+    calls, so multi-point experiments (one ``map`` per sweep point / figure
+    condition) pay the worker spawn and import cost once.  Call
+    :meth:`close` — or use the executor as a context manager — to shut the
+    pool down eagerly; otherwise it is reclaimed at interpreter exit.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; ``None`` uses the machine's CPU count.
+    chunksize:
+        How many jobs each worker pulls at a time.  The default of 1 is right
+        for the harness's coarse jobs (one simulation repeat or GA run each).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *, chunksize: int = 1) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if int(jobs) < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if int(chunksize) < 1:
+            raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+        self.jobs = int(jobs)
+        self.chunksize = int(chunksize)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._degraded = False
+
+    def describe(self) -> str:
+        # Recorded in experiment results after mapping: be honest when an
+        # unpicklable job forced the work back in-process.
+        if self._degraded:
+            return f"process[{self.jobs}]:serial-fallback"
+        return f"process[{self.jobs}]"
+
+    def close(self) -> None:
+        """Shut down the worker pool (a later ``map`` recreates it)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _picklable(self, fn: Callable, jobs: Sequence) -> bool:
+        # Probe with the function and one representative job; the harness's
+        # job lists are homogeneous, so serialising all of them here would
+        # only double the pickling work of the common (picklable) case.
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(jobs[0])
+            return True
+        except Exception:
+            return False
+
+    def map(self, fn: Callable[[J], R], jobs: Sequence[J]) -> List[R]:
+        jobs = list(jobs)
+        if self.jobs <= 1 or len(jobs) <= 1:
+            return [fn(job) for job in jobs]
+        if not self._picklable(fn, jobs):
+            self._degraded = True
+            warnings.warn(
+                "job spec or worker function is not picklable; "
+                "running serially in-process instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(job) for job in jobs]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return list(self._pool.map(fn, jobs, chunksize=self.chunksize))
+
+
+def executor_from_jobs(jobs: Optional[int]) -> ExperimentExecutor:
+    """Build the executor matching a ``jobs`` count (``None``/``1`` = serial)."""
+    if jobs is None or int(jobs) == 1:
+        return SerialExecutor()
+    if int(jobs) < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    return ParallelExecutor(int(jobs))
+
+
+def resolve_executor(
+    executor: Optional[ExperimentExecutor], jobs: Optional[int]
+) -> ExperimentExecutor:
+    """An explicitly supplied executor wins; otherwise build one from *jobs*."""
+    if executor is not None:
+        return executor
+    return executor_from_jobs(jobs)

@@ -190,6 +190,83 @@ class TestOtherCrossovers:
             assert np.array_equal(np.sort(c1), np.sort(a))
             assert np.array_equal(np.sort(c2), np.sort(a))
 
+    @given(
+        n_tasks=st.integers(min_value=2, max_value=30),
+        n_procs=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cycle_crossover_children_always_valid_chromosomes(self, n_tasks, n_procs, seed):
+        """Property: CX children are valid chromosomes whose every gene sits at a
+        position where one of the parents had it (the defining CX invariant)."""
+        a, b = _random_parents(n_tasks, n_procs, seed)
+        c1, c2 = CycleCrossover().cross(a, b, rng=seed)
+        validate_chromosome(c1, n_tasks, n_procs)
+        validate_chromosome(c2, n_tasks, n_procs)
+        for i in range(len(a)):
+            assert c1[i] in (a[i], b[i])
+            assert c2[i] in (a[i], b[i])
+            # complementarity: whatever child 1 took from one parent at this
+            # position, child 2 took from the other
+            assert {int(c1[i]), int(c2[i])} == {int(a[i]), int(b[i])}
+
+
+# ---------------------------------------------------------------------------
+# Mutation properties
+# ---------------------------------------------------------------------------
+
+class TestMutationProperties:
+    @given(
+        n_tasks=st.integers(min_value=1, max_value=30),
+        n_procs=st.integers(min_value=1, max_value=8),
+        n_swaps=st.integers(min_value=0, max_value=10),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_swap_mutation_preserves_gene_multiset(self, n_tasks, n_procs, n_swaps, seed):
+        """Property: any number of random swaps preserves the multiset of genes,
+        so the mutant is still a valid chromosome needing no repair."""
+        chrom = random_chromosome(n_tasks, n_procs, rng=seed)
+        mutated = swap_mutation(chrom, rng=seed + 1, n_swaps=n_swaps)
+        assert np.array_equal(np.sort(mutated), np.sort(chrom))
+        validate_chromosome(mutated, n_tasks, n_procs)
+
+    @given(
+        n_tasks=st.integers(min_value=2, max_value=40),
+        n_procs=st.integers(min_value=2, max_value=8),
+        n_rebalances=st.integers(min_value=0, max_value=25),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rebalance_many_never_increases_error(self, n_tasks, n_procs, n_rebalances, seed):
+        """Property: the re-balancing heuristic only accepts error-reducing swaps,
+        so chaining any number of re-balances never worsens the schedule."""
+        rng = np.random.default_rng(seed)
+        problem = BatchProblem(
+            task_ids=np.arange(n_tasks),
+            sizes=rng.uniform(1.0, 1000.0, n_tasks),
+            rates=rng.uniform(10.0, 500.0, n_procs),
+            pending_loads=rng.uniform(0.0, 500.0, n_procs),
+            comm_costs=rng.uniform(0.0, 2.0, n_procs),
+        )
+        assignment = rng.integers(0, n_procs, size=n_tasks)
+        completions = completion_times(assignment, problem)[0]
+        outcome = rebalance_many(
+            assignment, completions, problem, n_rebalances=n_rebalances, rng=seed + 7
+        )
+        before = evaluate_assignments(assignment, problem).errors[0]
+        after = evaluate_assignments(outcome.assignment, problem).errors[0]
+        assert after <= before + 1e-9
+        # the swap only exchanges processors between two tasks, so per-processor
+        # task counts are preserved and the cached completions stay consistent
+        assert np.array_equal(
+            np.bincount(outcome.assignment, minlength=n_procs),
+            np.bincount(assignment, minlength=n_procs),
+        )
+        assert np.allclose(
+            outcome.completions, completion_times(outcome.assignment, problem)[0]
+        )
+
 
 # ---------------------------------------------------------------------------
 # Mutation

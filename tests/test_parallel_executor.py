@@ -1,0 +1,243 @@
+"""Tests for the parallel experiment executors (repro.parallel).
+
+The load-bearing guarantee is determinism: sharding repeats across worker
+processes must produce aggregates bit-identical to the serial run with the
+same master seed, and repeated serial runs must be bit-identical to each
+other.  These are regression tests for that contract, plus unit tests of the
+executor mechanics (ordering, fallback, construction).
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    compare_schedulers,
+    figure3,
+    figure6,
+    get_scale,
+    run_figure,
+    sweep_ga_parameter,
+)
+from repro.parallel import (
+    ComparisonRepeatJob,
+    ExperimentExecutor,
+    GARunJob,
+    ParallelExecutor,
+    SerialExecutor,
+    executor_from_jobs,
+    resolve_executor,
+    run_comparison_repeat,
+    run_ga_job,
+)
+from repro.util.errors import ConfigurationError
+from repro.workloads import normal_paper_workload
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return get_scale("smoke").scaled(
+        n_tasks=25,
+        n_tasks_large=25,
+        n_processors=4,
+        batch_size=10,
+        max_generations=5,
+        repeats=3,
+        convergence_generations=6,
+        comm_cost_means=(5.0, 20.0),
+    )
+
+
+def _comparison_key(result):
+    """Everything aggregate about a ComparisonResult, as plain floats."""
+    return {
+        name: (
+            cmp.makespan.mean,
+            cmp.makespan.std,
+            cmp.efficiency.mean,
+            cmp.efficiency.std,
+            cmp.mean_response_time.mean,
+            cmp.invocations.mean,
+        )
+        for name, cmp in result.schedulers.items()
+    }
+
+
+class TestExecutors:
+    def test_serial_maps_in_order(self):
+        assert SerialExecutor().map(_square, [1, 2, 3]) == [1, 4, 9]
+
+    def test_parallel_maps_in_order(self):
+        assert ParallelExecutor(2).map(_square, list(range(8))) == [
+            x * x for x in range(8)
+        ]
+
+    def test_parallel_single_job_runs_inline(self):
+        assert ParallelExecutor(4).map(_square, [5]) == [25]
+
+    def test_parallel_empty_job_list(self):
+        assert ParallelExecutor(2).map(_square, []) == []
+
+    def test_unpicklable_jobs_fall_back_to_serial(self):
+        fn = lambda x: x + 1  # noqa: E731 - deliberately unpicklable
+        executor = ParallelExecutor(2)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            assert executor.map(fn, [1, 2]) == [2, 3]
+        # the degradation is reflected in what results will record
+        assert executor.describe() == "process[2]:serial-fallback"
+
+    def test_serial_close_is_noop(self):
+        executor = SerialExecutor()
+        executor.close()
+        assert executor.map(_square, [2]) == [4]
+
+    def test_describe(self):
+        assert SerialExecutor().describe() == "serial"
+        assert ParallelExecutor(3).describe() == "process[3]"
+
+    def test_pool_reused_across_map_calls_and_recreated_after_close(self):
+        with ParallelExecutor(2) as executor:
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+            pool = executor._pool
+            assert pool is not None
+            assert executor.map(_square, [4, 5, 6]) == [16, 25, 36]
+            assert executor._pool is pool
+            executor.close()
+            assert executor._pool is None
+            assert executor.map(_square, [7, 8]) == [49, 64]
+        assert executor._pool is None
+
+    def test_executor_from_jobs(self):
+        assert isinstance(executor_from_jobs(None), SerialExecutor)
+        assert isinstance(executor_from_jobs(1), SerialExecutor)
+        parallel = executor_from_jobs(2)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.jobs == 2
+        with pytest.raises(ConfigurationError):
+            executor_from_jobs(0)
+
+    def test_resolve_executor_prefers_explicit(self):
+        explicit = SerialExecutor()
+        assert resolve_executor(explicit, 8) is explicit
+        assert isinstance(resolve_executor(None, 2), ParallelExecutor)
+
+    def test_invalid_parallel_construction(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(2, chunksize=0)
+
+    def test_scale_jobs_validated(self):
+        with pytest.raises(Exception):
+            get_scale("smoke").scaled(jobs=0)
+
+
+class TestComparisonJobDeterminism:
+    def test_repeat_job_is_self_contained(self, tiny_scale):
+        """The same job run twice gives identical metrics (no hidden state)."""
+        job = ComparisonRepeatJob(
+            seed_entropy=99,
+            workload_spec=normal_paper_workload(tiny_scale.n_tasks),
+            scheduler_names=("EF", "RR"),
+            n_processors=tiny_scale.n_processors,
+            batch_size=tiny_scale.batch_size,
+            max_generations=tiny_scale.max_generations,
+            mean_comm_cost=5.0,
+        )
+        assert run_comparison_repeat(job).metrics == run_comparison_repeat(job).metrics
+
+    def test_ga_job_is_self_contained(self, tiny_scale):
+        from repro.experiments import make_benchmark_problem
+        from repro.ga import GAConfig
+
+        job = GARunJob(
+            config=GAConfig(population_size=8, max_generations=4, n_rebalances=1),
+            problem=make_benchmark_problem(tiny_scale, seed=3),
+            ga_seed=17,
+        )
+        a, b = run_ga_job(job), run_ga_job(job)
+        assert a.best_makespan == b.best_makespan
+        assert np.array_equal(a.reduction_history, b.reduction_history)
+
+
+class TestSerialParallelIdentity:
+    """Same seed ⇒ identical aggregates whichever executor runs the repeats."""
+
+    def test_compare_schedulers_serial_vs_parallel(self, tiny_scale):
+        spec = normal_paper_workload(tiny_scale.n_tasks)
+        kwargs = dict(mean_comm_cost=5.0, seed=42)
+        serial = compare_schedulers(spec, tiny_scale, **kwargs)
+        parallel = compare_schedulers(spec, tiny_scale.scaled(jobs=2), **kwargs)
+        assert serial.executor == "serial"
+        assert parallel.executor == "process[2]"
+        assert _comparison_key(serial) == _comparison_key(parallel)
+
+    def test_compare_schedulers_repeated_serial_runs_bit_identical(self, tiny_scale):
+        spec = normal_paper_workload(tiny_scale.n_tasks)
+        kwargs = dict(mean_comm_cost=5.0, seed=7)
+        a = compare_schedulers(spec, tiny_scale, **kwargs)
+        b = compare_schedulers(spec, tiny_scale, **kwargs)
+        assert _comparison_key(a) == _comparison_key(b)
+
+    def test_explicit_executor_overrides_scale(self, tiny_scale):
+        spec = normal_paper_workload(tiny_scale.n_tasks)
+        result = compare_schedulers(
+            spec,
+            tiny_scale.scaled(jobs=2),
+            mean_comm_cost=5.0,
+            seed=42,
+            executor=SerialExecutor(),
+        )
+        assert result.executor == "serial"
+
+    def test_sweep_serial_vs_parallel(self, tiny_scale):
+        kwargs = dict(scale=tiny_scale, seed=5, repeats=2)
+        serial = sweep_ga_parameter("n_rebalances", [0, 1], **kwargs)
+        parallel = sweep_ga_parameter(
+            "n_rebalances",
+            [0, 1],
+            scale=tiny_scale.scaled(jobs=2),
+            seed=5,
+            repeats=2,
+        )
+        assert serial.executor == "serial"
+        assert parallel.executor == "process[2]"
+        for p_serial, p_parallel in zip(serial.points, parallel.points):
+            assert p_serial.value == p_parallel.value
+            assert p_serial.makespan.mean == p_parallel.makespan.mean
+            assert p_serial.makespan.std == p_parallel.makespan.std
+            assert p_serial.reduction.mean == p_parallel.reduction.mean
+            assert p_serial.generations.mean == p_parallel.generations.mean
+
+    def test_sweep_repeated_serial_runs_bit_identical(self, tiny_scale):
+        a = sweep_ga_parameter("n_rebalances", [0, 1], scale=tiny_scale, seed=9, repeats=2)
+        b = sweep_ga_parameter("n_rebalances", [0, 1], scale=tiny_scale, seed=9, repeats=2)
+        assert a.makespans() == b.makespans()
+
+    def test_figure3_serial_vs_parallel(self, tiny_scale):
+        serial = figure3(scale=tiny_scale, seed=11, rebalance_levels=(0, 1))
+        parallel = figure3(
+            scale=tiny_scale.scaled(jobs=2), seed=11, rebalance_levels=(0, 1)
+        )
+        assert serial.series == parallel.series
+        assert parallel.metadata["executor"] == "process[2]"
+
+    def test_figure6_serial_vs_parallel(self, tiny_scale):
+        serial = figure6(scale=tiny_scale, seed=13)
+        parallel = figure6(scale=tiny_scale.scaled(jobs=2), seed=13)
+        assert serial.bar_values() == parallel.bar_values()
+        assert serial.comparisons[0].executor == "serial"
+        assert parallel.comparisons[0].executor == "process[2]"
+
+    def test_run_figure_accepts_executor(self, tiny_scale):
+        serial = run_figure("fig6", scale=tiny_scale, seed=13)
+        explicit = run_figure(
+            "fig6", scale=tiny_scale, seed=13, executor=ParallelExecutor(2)
+        )
+        assert serial.bar_values() == explicit.bar_values()
+        assert explicit.metadata["executor"] == "process[2]"
