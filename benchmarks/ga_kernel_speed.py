@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Benchmark: loop vs vectorized GA operator kernels, in generations/second.
+
+Runs the same seeded `GeneticAlgorithm.evolve` once per kernel backend on a
+representative batch problem and reports how many GA generations each backend
+sustains per second.  Two preset sizes are built in:
+
+* ``smoke`` — a CI-sized problem (population 20, 80 tasks, 5 processors);
+* ``paper`` — the paper-scale hot path (population 50, 200 tasks,
+  20 processors).
+
+Record mode (the default) writes a BENCH json record::
+
+    PYTHONPATH=src python benchmarks/ga_kernel_speed.py \
+        --scale paper --output benchmarks/BENCH_ga_kernels.json
+
+Check mode re-measures the requested scale and gates against the committed
+record (used by the CI ``bench-gate`` job)::
+
+    PYTHONPATH=src python benchmarks/ga_kernel_speed.py --scale smoke --check
+
+The gate compares *speedups* (vectorized over loop generations/sec), which
+are stable across machines where absolute rates are not.  It fails when the
+vectorized backend falls behind the loop backend (speedup < 1) or when its
+speedup regresses more than ``--tolerance`` (default 25 %) below the
+committed reference for that scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.ga import BACKEND_NAMES, BatchProblem, GAConfig, GeneticAlgorithm
+
+DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_ga_kernels.json")
+
+
+@dataclass(frozen=True)
+class KernelScale:
+    """One benchmark problem size."""
+
+    name: str
+    population_size: int
+    n_tasks: int
+    n_processors: int
+    generations: int
+
+
+SCALES: Dict[str, KernelScale] = {
+    "smoke": KernelScale(
+        name="smoke", population_size=20, n_tasks=80, n_processors=5, generations=60
+    ),
+    "paper": KernelScale(
+        name="paper", population_size=50, n_tasks=200, n_processors=20, generations=60
+    ),
+}
+
+
+def build_problem(scale: KernelScale, seed: int) -> BatchProblem:
+    """A heterogeneous batch problem matching the paper's workload shapes."""
+    rng = np.random.default_rng(seed)
+    return BatchProblem(
+        task_ids=np.arange(scale.n_tasks),
+        sizes=rng.normal(500.0, 150.0, scale.n_tasks).clip(min=10.0),
+        rates=rng.uniform(10.0, 500.0, scale.n_processors),
+        pending_loads=rng.uniform(0.0, 500.0, scale.n_processors),
+        comm_costs=rng.uniform(0.0, 2.0, scale.n_processors),
+    )
+
+
+def generations_per_second(
+    scale: KernelScale, backend: str, seed: int, repeats: int
+) -> float:
+    """Best-of-*repeats* generation throughput of one backend."""
+    problem = build_problem(scale, seed)
+    config = GAConfig(
+        population_size=scale.population_size,
+        max_generations=scale.generations,
+        n_rebalances=1,
+        backend=backend,
+    )
+    best = 0.0
+    for repeat in range(repeats):
+        engine = GeneticAlgorithm(config, rng=seed + repeat)
+        start = time.perf_counter()
+        result = engine.evolve(problem)
+        elapsed = time.perf_counter() - start
+        best = max(best, result.generations / elapsed)
+    return best
+
+
+def measure_scale(scale: KernelScale, seed: int, repeats: int) -> Dict[str, object]:
+    """Loop and vectorized throughput (plus their ratio) for one scale."""
+    rates = {
+        backend: generations_per_second(scale, backend, seed, repeats)
+        for backend in BACKEND_NAMES
+    }
+    return {
+        "population_size": scale.population_size,
+        "n_tasks": scale.n_tasks,
+        "n_processors": scale.n_processors,
+        "generations": scale.generations,
+        "generations_per_second": {k: round(v, 2) for k, v in rates.items()},
+        "speedup": round(rates["vectorized"] / rates["loop"], 3),
+    }
+
+
+def run_record(args: argparse.Namespace) -> int:
+    names = sorted(SCALES) if args.scale == "all" else [args.scale]
+    record = {
+        "benchmark": "ga_kernel_speed/loop_vs_vectorized",
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scales": {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names},
+    }
+    print(json.dumps(record, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def run_check(args: argparse.Namespace) -> int:
+    if args.scale == "all":
+        print("error: --check gates one scale at a time", file=sys.stderr)
+        return 2
+    with open(args.record, encoding="utf8") as handle:
+        committed = json.load(handle)
+    reference = committed["scales"].get(args.scale)
+    if reference is None:
+        print(f"error: {args.record} has no '{args.scale}' scale", file=sys.stderr)
+        return 2
+
+    measured = measure_scale(SCALES[args.scale], args.seed, args.repeats)
+    speedup = measured["speedup"]
+    reference_speedup = reference["speedup"]
+    floor = reference_speedup * (1.0 - args.tolerance)
+    print(
+        f"ga_kernel_speed --check [{args.scale}]: measured speedup {speedup:.2f}x, "
+        f"committed {reference_speedup:.2f}x, floor {floor:.2f}x"
+    )
+    print(json.dumps(measured, indent=2))
+    if speedup < 1.0:
+        print(
+            "FAIL: vectorized backend is slower than the loop backend", file=sys.stderr
+        )
+        return 1
+    if speedup < floor:
+        print(
+            f"FAIL: speedup regressed more than {args.tolerance:.0%} below the "
+            f"committed record ({speedup:.2f}x < {floor:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS: vectorized backend within budget")
+    return 0
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default="all",
+        choices=[*sorted(SCALES), "all"],
+        help="benchmark size to run (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats; the best is kept"
+    )
+    parser.add_argument("--output", default=None, help="write the BENCH json here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the measured speedup against the committed record",
+    )
+    parser.add_argument(
+        "--record",
+        default=DEFAULT_RECORD,
+        help="committed BENCH json to gate against (with --check)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional speedup regression before --check fails",
+    )
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    if args.check:
+        return run_check(args)
+    return run_record(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,8 +7,6 @@ trade-off (Sect. 3.5: quality improves with more re-balances but the run time
 grows, so the paper settles on a single re-balance per generation).
 """
 
-import numpy as np
-import pytest
 
 from repro.experiments import make_benchmark_problem, sweep_ga_parameter
 from repro.ga import GAConfig, GeneticAlgorithm
@@ -22,7 +20,9 @@ def _sweep(parameter, values, scale, seed, benchmark=None, repeats=2):
     key = f"{parameter}:{values}"
     return _cache.run_once(
         key,
-        lambda: sweep_ga_parameter(parameter, list(values), scale=scale, seed=seed, repeats=repeats),
+        lambda: sweep_ga_parameter(
+            parameter, list(values), scale=scale, seed=seed, repeats=repeats
+        ),
         benchmark,
     )
 

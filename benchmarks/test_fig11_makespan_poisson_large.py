@@ -4,7 +4,6 @@ Paper claim reproduced here: all of the batch-mode schedulers perform well on
 the Poisson(100) workload, while the immediate-mode schedulers lag behind.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import figure11

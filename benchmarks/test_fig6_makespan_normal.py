@@ -9,7 +9,7 @@ import pytest
 from repro.experiments import figure6
 from repro.experiments.reporting import figure_report
 
-from _bars import assert_common_bar_shape, rank_of
+from _bars import assert_common_bar_shape
 from _shared import FigureCache
 
 _cache = FigureCache()

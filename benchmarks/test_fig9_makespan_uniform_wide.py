@@ -9,7 +9,7 @@ import pytest
 
 from repro.experiments import figure9
 
-from _bars import assert_common_bar_shape, rank_of
+from _bars import assert_common_bar_shape
 from _shared import FigureCache
 
 _cache = FigureCache()

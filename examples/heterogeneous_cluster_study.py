@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import argparse
 
-import numpy as np
 
 from repro import (
     PNScheduler,

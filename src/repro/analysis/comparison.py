@@ -10,8 +10,8 @@ the reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -108,7 +108,6 @@ def aggregate_comparisons(comparisons: Iterable[ComparisonResult]) -> AggregateS
 
     for comparison in comparisons:
         makespans = comparison.makespans()
-        efficiencies = comparison.efficiencies()
         best_makespan = min(makespans.values())
         wins_makespan[comparison.best_by_makespan()] += 1
         wins_efficiency[comparison.best_by_efficiency()] += 1

@@ -68,7 +68,9 @@ def render_gantt(
             _accumulate(comm_cover, record.dispatch_time, record.exec_start, cell, width)
         row_chars = []
         for i in range(width):
-            if exec_cover[i] >= 0.5 * cell or (exec_cover[i] > 0 and exec_cover[i] >= comm_cover[i]):
+            if exec_cover[i] >= 0.5 * cell or (
+                exec_cover[i] > 0 and exec_cover[i] >= comm_cover[i]
+            ):
                 row_chars.append(EXEC_CHAR)
             elif comm_cover[i] > 0:
                 row_chars.append(COMM_CHAR)

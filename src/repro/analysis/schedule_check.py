@@ -137,7 +137,9 @@ def validate_trace(trace: ExecutionTrace, tasks: Optional[TaskSet] = None) -> Va
     return report
 
 
-def validate_simulation(result: SimulationResult, tasks: Optional[TaskSet] = None) -> ValidationReport:
+def validate_simulation(
+    result: SimulationResult, tasks: Optional[TaskSet] = None
+) -> ValidationReport:
     """Validate a full simulation result: its trace plus its reported metrics."""
     report = validate_trace(result.trace, tasks)
 

@@ -19,12 +19,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .experiments.config import SCALES, get_scale
 from .experiments.figures import FIGURES, list_figures, run_figure
 from .experiments.reporting import comparison_table, experiment_summary, figure_report
 from .experiments.runner import compare_schedulers
+from .ga.kernels import BACKEND_NAMES
 from .parallel import executor_from_jobs
 from .util.errors import ReproError
 from .workloads.suites import paper_workloads, workload_by_name
@@ -96,16 +97,30 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
             "for any value, only measured wall-clock values vary"
         ),
     )
+    parser.add_argument(
+        "--ga-backend",
+        default=None,
+        choices=sorted(BACKEND_NAMES),
+        help=(
+            "GA kernel backend: 'vectorized' batches every operator over the "
+            "whole population with NumPy (default), 'loop' is the "
+            "per-individual reference implementation; both follow the same "
+            "RNG draw-order contract (see repro.ga.kernels)"
+        ),
+    )
 
 
 def _scale_from_args(args: argparse.Namespace):
-    """The selected scale preset, with ``--jobs`` applied when given."""
+    """The selected scale preset, with ``--jobs`` / ``--ga-backend`` applied."""
     scale = get_scale(args.scale)
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
         if jobs == 0:
             jobs = os.cpu_count() or 1
         scale = scale.scaled(jobs=jobs)
+    ga_backend = getattr(args, "ga_backend", None)
+    if ga_backend is not None:
+        scale = scale.scaled(ga_backend=ga_backend)
     return scale
 
 
@@ -120,7 +135,7 @@ def _cmd_list() -> int:
             f"  {name:6s} tasks={scale.n_tasks}/{scale.n_tasks_large} "
             f"procs={scale.n_processors} batch={scale.batch_size} "
             f"generations={scale.max_generations} repeats={scale.repeats} "
-            f"jobs={scale.jobs}"
+            f"jobs={scale.jobs} ga-backend={scale.ga_backend}"
         )
     return 0
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -35,7 +34,9 @@ class Cluster:
             )
         self._processors: List[Processor] = sorted(processors, key=lambda p: p.proc_id)
         if network is None:
-            network = Network([CommLink(proc_id=p.proc_id, mean_cost=0.0) for p in self._processors])
+            network = Network(
+                [CommLink(proc_id=p.proc_id, mean_cost=0.0) for p in self._processors]
+            )
         if sorted(network.proc_ids) != expected:
             raise ConfigurationError("network must have exactly one link per processor")
         self._network = network

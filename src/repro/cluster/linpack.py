@@ -13,7 +13,7 @@ substitution preserves all scheduling behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

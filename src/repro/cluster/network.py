@@ -12,13 +12,13 @@ makes the comm-cost *prediction* of the PN scheduler worthwhile.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..util.errors import ConfigurationError
-from ..util.rng import RNGLike, ensure_rng, spawn_rngs
-from ..util.validation import require_non_negative, require_positive
+from ..util.rng import RNGLike, ensure_rng
+from ..util.validation import require_non_negative
 from .variation import AvailabilityModel, ConstantAvailability
 
 __all__ = ["CommLink", "Network", "build_random_network"]
@@ -49,7 +49,9 @@ class CommLink:
 
     def __post_init__(self) -> None:
         if self.proc_id < 0 or int(self.proc_id) != self.proc_id:
-            raise ConfigurationError(f"proc_id must be a non-negative integer, got {self.proc_id!r}")
+            raise ConfigurationError(
+                f"proc_id must be a non-negative integer, got {self.proc_id!r}"
+            )
         require_non_negative(self.mean_cost, "mean_cost")
         require_non_negative(self.relative_std, "relative_std")
 

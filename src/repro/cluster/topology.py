@@ -2,15 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
-import numpy as np
 
 from ..util.errors import ConfigurationError
-from ..util.rng import RNGLike, ensure_rng, spawn_rngs
+from ..util.rng import RNGLike, spawn_rngs
 from ..util.validation import require_non_negative, require_positive, require_positive_int
 from .cluster import Cluster
-from .network import Network, build_random_network
+from .network import build_random_network
 from .processor import Processor
 from .variation import (
     AvailabilityModel,

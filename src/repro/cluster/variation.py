@@ -157,7 +157,11 @@ class RandomWalkAvailability(AvailabilityModel):
         self.sigma = require_non_negative(sigma, "sigma")
         self.step = require_positive(step, "step")
         self.reversion = require_probability(reversion, "reversion")
-        self._seed = seed if isinstance(seed, (int, np.integer)) else ensure_rng(seed).integers(0, 2**31 - 1)
+        self._seed = (
+            seed
+            if isinstance(seed, (int, np.integer))
+            else ensure_rng(seed).integers(0, 2**31 - 1)
+        )
         self._levels: List[float] = []
 
     def _extend_to(self, bucket: int) -> None:
@@ -195,7 +199,7 @@ class TraceAvailability(AvailabilityModel):
         if np.any(np.diff(arr_t) <= 0):
             raise ConfigurationError("trace times must be strictly increasing")
         self._times = arr_t
-        self._levels = np.array([_clamp(float(l)) for l in levels], dtype=float)
+        self._levels = np.array([_clamp(float(level)) for level in levels], dtype=float)
 
     def availability(self, time: float) -> float:
         idx = int(np.searchsorted(self._times, float(time), side="right")) - 1

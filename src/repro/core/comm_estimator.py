@@ -9,7 +9,6 @@ communication costs after the fact.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
 

@@ -18,7 +18,6 @@ the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Union
 
 import numpy as np
@@ -165,7 +164,9 @@ class PNScheduler(BatchScheduler):
         """Fold an observed dispatch cost into the per-link Γ estimate."""
         self.comm_estimator.observe(proc, cost)
 
-    def observe_completion(self, proc: int, task: Task, processing_time: float, time: float) -> None:
+    def observe_completion(
+        self, proc: int, task: Task, processing_time: float, time: float
+    ) -> None:
         """Fold an observed effective execution rate into the per-processor Γ estimate."""
         if processing_time > 0:
             observed_rate = task.size_mflops / processing_time

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
+from ..ga.kernels import BACKEND_NAMES
 from ..util.errors import ConfigurationError
 from ..util.validation import require_positive_int
 
@@ -54,6 +55,11 @@ class ExperimentScale:
         / figure conditions); ``1`` runs everything serially in-process.
         Aggregates are bit-identical for any value — see
         :mod:`repro.parallel`.
+    ga_backend:
+        Kernel backend of every GA run in the experiment (``"vectorized"``
+        whole-population NumPy kernels, the default, or ``"loop"`` — the
+        per-individual reference implementation).  See
+        :mod:`repro.ga.kernels`; CLI ``--ga-backend`` overrides it.
     """
 
     name: str
@@ -67,6 +73,7 @@ class ExperimentScale:
     bar_comm_cost_mean: float = 20.0
     convergence_generations: int = 100
     jobs: int = 1
+    ga_backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         require_positive_int(self.n_tasks, "n_tasks")
@@ -77,6 +84,10 @@ class ExperimentScale:
         require_positive_int(self.repeats, "repeats")
         require_positive_int(self.convergence_generations, "convergence_generations")
         require_positive_int(self.jobs, "jobs")
+        if self.ga_backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown ga_backend {self.ga_backend!r}; expected one of {sorted(BACKEND_NAMES)}"
+            )
         if not self.comm_cost_means:
             raise ConfigurationError("comm_cost_means must contain at least one value")
         if any(c <= 0 for c in self.comm_cost_means):

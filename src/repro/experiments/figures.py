@@ -16,7 +16,6 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..cluster.topology import heterogeneous_cluster
-from ..core.pn_scheduler import default_pn_ga_config
 from ..ga.engine import GAConfig
 from ..ga.problem import BatchProblem
 from ..parallel.executor import ExperimentExecutor, resolve_executor
@@ -169,6 +168,7 @@ def figure3(
                 n_rebalances=int(level),
                 seeded_initialisation=True,
                 random_init_fraction=1.0,
+                backend=scale.ga_backend,
             ),
             problem=problem,
             ga_seed=ga_seed,
@@ -246,6 +246,7 @@ def figure4(
                 n_rebalances=int(level),
                 seeded_initialisation=True,
                 random_init_fraction=1.0,
+                backend=scale.ga_backend,
             ),
             problem=problem,
             ga_seed=ga_seed,
@@ -263,7 +264,7 @@ def figure4(
         title="Time taken to run the GA with varying numbers of re-balances per generation",
         kind="series",
         x_name="rebalances_per_generation",
-        x_values=[float(l) for l in rebalance_levels],
+        x_values=[float(level) for level in rebalance_levels],
         series={"seconds": times},
         expectation="Scheduling time grows roughly linearly with the number of re-balances.",
         metadata={

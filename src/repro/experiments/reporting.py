@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from ..util.tables import format_key_values, format_table
 from .figures import FigureResult

@@ -17,7 +17,7 @@ same master seed produce bit-identical aggregates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -169,6 +169,7 @@ def compare_schedulers(
             mean_comm_cost=mean_comm_cost,
             sim_config=sim_config,
             cluster_factory=cluster_factory,
+            ga_backend=scale.ga_backend,
         )
         for repeat_seed in repeat_seeds
     ]

@@ -10,9 +10,8 @@ problem so the benchmarks can report how much each choice matters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..cluster.topology import heterogeneous_cluster
 from ..ga.engine import GAConfig
@@ -121,6 +120,7 @@ def sweep_ga_parameter(
         population_size=20,
         max_generations=scale.convergence_generations,
         n_rebalances=1,
+        backend=scale.ga_backend,
     )
     if not hasattr(base, parameter):
         raise ConfigurationError(f"GAConfig has no field named {parameter!r}")

@@ -20,6 +20,18 @@ from .encoding import (
     validate_chromosome,
 )
 from .engine import GAConfig, GAResult, GAStopReason, GeneticAlgorithm
+from .kernels import (
+    BACKEND_NAMES,
+    KernelBackend,
+    LoopBackend,
+    VectorizedBackend,
+    backend_from_name,
+    cycle_crossover_batch,
+    decode_population,
+    draw_swap_positions,
+    rebalance_population,
+    swap_positions_batch,
+)
 from .fitness import (
     FitnessResult,
     completion_times,
@@ -30,6 +42,7 @@ from .fitness import (
 )
 from .mutation import (
     RebalanceOutcome,
+    apply_position_swaps,
     rebalance_assignment,
     rebalance_many,
     swap_mutation,
@@ -47,6 +60,7 @@ from .selection import (
     SelectionOperator,
     TournamentSelection,
     roulette_probabilities,
+    roulette_select,
     selection_from_name,
 )
 
@@ -76,6 +90,7 @@ __all__ = [
     "RankSelection",
     "selection_from_name",
     "roulette_probabilities",
+    "roulette_select",
     # crossover
     "CrossoverOperator",
     "CycleCrossover",
@@ -85,9 +100,21 @@ __all__ = [
     "find_cycles",
     # mutation
     "swap_mutation",
+    "apply_position_swaps",
     "RebalanceOutcome",
     "rebalance_assignment",
     "rebalance_many",
+    # kernels
+    "BACKEND_NAMES",
+    "KernelBackend",
+    "LoopBackend",
+    "VectorizedBackend",
+    "backend_from_name",
+    "cycle_crossover_batch",
+    "decode_population",
+    "draw_swap_positions",
+    "swap_positions_batch",
+    "rebalance_population",
     # population
     "list_scheduled_assignment",
     "seeded_individual",

@@ -72,6 +72,12 @@ class CrossoverOperator(ABC):
     """Base class: combine two parent chromosomes into two children."""
 
     name: str = "crossover"
+    #: True when :meth:`cross` makes no random draws of its own (its output is
+    #: fully determined by the parents), which makes the operator bit-identical
+    #: across the kernel backends for a fixed seed.  Operators that draw (PMX,
+    #: OX) are applied pair by pair in ascending pair order by every backend —
+    #: the RNG draw-order contract of :mod:`repro.ga.kernels`.
+    deterministic_given_draws: bool = False
 
     @abstractmethod
     def cross(
@@ -93,6 +99,7 @@ class CycleCrossover(CrossoverOperator):
     """
 
     name = "cycle"
+    deterministic_given_draws = True
 
     def cross(
         self, parent_a: np.ndarray, parent_b: np.ndarray, rng: RNGLike = None

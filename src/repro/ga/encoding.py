@@ -114,7 +114,10 @@ def decode_assignment(chromosome: np.ndarray, n_tasks: int, n_processors: int) -
     chrom = np.asarray(chromosome, dtype=int)
     assignment = np.full(n_tasks, -1, dtype=int)
     # processor index of each gene = number of delimiters seen before it
-    proc_of_gene = np.cumsum(np.concatenate([[0], (chrom[:-1] < 0).astype(int)])) if len(chrom) else np.empty(0, dtype=int)
+    if len(chrom):
+        proc_of_gene = np.cumsum(np.concatenate([[0], (chrom[:-1] < 0).astype(int)]))
+    else:
+        proc_of_gene = np.empty(0, dtype=int)
     task_mask = chrom >= 0
     task_genes = chrom[task_mask]
     if np.any(task_genes >= n_tasks):

@@ -12,6 +12,16 @@ queues.  Each generation performs, in order:
 4. construction of the next generation by roulette-wheel selection, cycle
    crossover and random swap mutation, with elitism re-inserting the best
    individual found so far.
+
+The population-level work of each generation — decoding, re-balancing,
+crossover and mutation — is delegated to a pluggable kernel backend
+(:mod:`repro.ga.kernels`): ``"vectorized"`` (the default) batches every
+operator over the whole population matrix with NumPy, ``"loop"`` is the
+per-individual reference implementation.  Both follow the same RNG
+draw-order contract, so for a fixed seed they evolve bit-identical
+populations wherever the operators are deterministic given their draws
+(cycle crossover, swap mutation); the re-balancing heuristic's draws are
+value-dependent and match in distribution instead.
 """
 
 from __future__ import annotations
@@ -19,7 +29,7 @@ from __future__ import annotations
 import enum
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
@@ -32,13 +42,13 @@ from ..util.validation import (
     require_positive_int,
     require_probability,
 )
-from .crossover import CrossoverOperator, CycleCrossover, crossover_from_name
-from .encoding import chromosome_from_queues, decode_assignment, decode_queues
-from .fitness import FitnessResult, evaluate_assignments
-from .mutation import rebalance_many, swap_mutation
+from .crossover import CrossoverOperator, crossover_from_name
+from .encoding import decode_assignment, decode_queues
+from .fitness import evaluate_assignments
+from .kernels import BACKEND_NAMES, KernelBackend, backend_from_name
 from .population import random_population, seeded_population
 from .problem import BatchProblem
-from .selection import RouletteWheelSelection, SelectionOperator, selection_from_name
+from .selection import SelectionOperator, selection_from_name
 
 __all__ = ["GAConfig", "GAResult", "GAStopReason", "GeneticAlgorithm"]
 
@@ -76,6 +86,11 @@ class GAConfig:
     time_limit_seconds: Optional[float] = None
     selection: Union[str, SelectionOperator] = "roulette"
     crossover: Union[str, CrossoverOperator] = "cycle"
+    #: Kernel backend driving the per-generation population transforms:
+    #: ``"vectorized"`` (whole-population NumPy kernels, the default) or
+    #: ``"loop"`` (the per-individual reference implementation).  See
+    #: :mod:`repro.ga.kernels` for the RNG draw-order contract relating them.
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         require_positive_int(self.population_size, "population_size")
@@ -95,6 +110,14 @@ class GAConfig:
             require_non_negative(self.target_makespan, "target_makespan")
         if self.time_limit_seconds is not None:
             require_non_negative(self.time_limit_seconds, "time_limit_seconds")
+        if not isinstance(self.backend, str) or self.backend.strip().lower() not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown GA backend {self.backend!r}; expected one of {sorted(BACKEND_NAMES)}"
+            )
+
+    def kernel_backend(self) -> KernelBackend:
+        """The configured kernel backend instance."""
+        return backend_from_name(self.backend)
 
     def selection_operator(self) -> SelectionOperator:
         """The configured selection operator instance."""
@@ -159,6 +182,12 @@ class GeneticAlgorithm:
         self._rng = ensure_rng(rng)
         self._selection = self.config.selection_operator()
         self._crossover = self.config.crossover_operator()
+        self._backend = self.config.kernel_backend()
+
+    @property
+    def backend(self) -> KernelBackend:
+        """The kernel backend driving this engine's population transforms."""
+        return self._backend
 
     # -- population helpers ---------------------------------------------------------
     def _initial_population(self, problem: BatchProblem) -> np.ndarray:
@@ -170,21 +199,6 @@ class GeneticAlgorithm:
                 rng=self._rng,
             )
         return random_population(problem, self.config.population_size, rng=self._rng)
-
-    def _decode_all(self, population: np.ndarray, problem: BatchProblem) -> np.ndarray:
-        return np.vstack(
-            [
-                decode_assignment(chrom, problem.n_tasks, problem.n_processors)
-                for chrom in population
-            ]
-        )
-
-    @staticmethod
-    def _apply_task_swap(chromosome: np.ndarray, task_a: int, task_b: int) -> None:
-        """Swap the chromosome positions of two task genes, in place."""
-        pos_a = int(np.nonzero(chromosome == task_a)[0][0])
-        pos_b = int(np.nonzero(chromosome == task_b)[0][0])
-        chromosome[pos_a], chromosome[pos_b] = chromosome[pos_b], chromosome[pos_a]
 
     # -- main loop --------------------------------------------------------------------
     def evolve(
@@ -225,7 +239,7 @@ class GeneticAlgorithm:
             generation += 1
 
             with timings.measure("decode"):
-                assignments = self._decode_all(population, problem)
+                assignments = self._backend.decode(population, problem)
             with timings.measure("fitness"):
                 result = evaluate_assignments(assignments, problem)
 
@@ -246,31 +260,15 @@ class GeneticAlgorithm:
             # Re-balancing heuristic (Sect. 3.5): applied to every individual.
             if cfg.n_rebalances > 0:
                 with timings.measure("rebalance"):
-                    for idx in range(population.shape[0]):
-                        outcome = rebalance_many(
-                            assignments[idx],
-                            result.completions[idx],
-                            problem,
-                            cfg.n_rebalances,
-                            rng=self._rng,
-                            max_probes=cfg.rebalance_probes,
-                        )
-                        if outcome.improved:
-                            # Mirror accepted swaps back into the chromosome so
-                            # crossover keeps operating on consistent genomes.
-                            changed = np.nonzero(outcome.assignment != assignments[idx])[0]
-                            if changed.size == 2:
-                                self._apply_task_swap(
-                                    population[idx], int(changed[0]), int(changed[1])
-                                )
-                            else:  # several sequential swaps: rebuild via queues
-                                queues = [[] for _ in range(problem.n_processors)]
-                                for t_index, proc in enumerate(outcome.assignment):
-                                    queues[int(proc)].append(int(t_index))
-                                population[idx] = chromosome_from_queues(
-                                    queues, problem.n_tasks
-                                )
-                            assignments[idx] = outcome.assignment
+                    self._backend.rebalance(
+                        population,
+                        assignments,
+                        result.completions.copy(),
+                        problem,
+                        cfg.n_rebalances,
+                        self._rng,
+                        cfg.rebalance_probes,
+                    )
                     result = evaluate_assignments(assignments, problem)
 
             # Track the best individual by makespan (Sect. 3.4).
@@ -307,21 +305,14 @@ class GeneticAlgorithm:
                 parents = population[parent_indices].copy()
 
             with timings.measure("crossover"):
-                children = parents
-                for i in range(0, cfg.population_size - 1, 2):
-                    if self._rng.random() < cfg.crossover_rate:
-                        child_a, child_b = self._crossover.cross(
-                            parents[i], parents[i + 1], rng=self._rng
-                        )
-                        children[i] = child_a
-                        children[i + 1] = child_b
+                children = self._backend.crossover(
+                    parents, self._crossover, cfg.crossover_rate, self._rng
+                )
 
             with timings.measure("mutation"):
-                for i in range(cfg.population_size):
-                    if self._rng.random() < cfg.mutation_rate:
-                        children[i] = swap_mutation(
-                            children[i], rng=self._rng, n_swaps=cfg.swaps_per_mutation
-                        )
+                children = self._backend.mutate(
+                    children, cfg.mutation_rate, cfg.swaps_per_mutation, self._rng
+                )
 
             # Elitism: re-insert the best chromosome(s) found so far.
             if cfg.elitism > 0 and best_chromosome is not None:

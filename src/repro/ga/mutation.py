@@ -15,7 +15,7 @@ The paper employs two kinds of mutation (Sect. 3.3 and 3.5):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from .problem import BatchProblem
 
 __all__ = [
     "swap_mutation",
+    "apply_position_swaps",
     "RebalanceOutcome",
     "rebalance_assignment",
     "rebalance_many",
@@ -48,6 +49,20 @@ def swap_mutation(chromosome: np.ndarray, rng: RNGLike = None, n_swaps: int = 1)
         i, j = gen.choice(chrom.size, size=2, replace=False)
         chrom[i], chrom[j] = chrom[j], chrom[i]
     return chrom
+
+
+def apply_position_swaps(
+    chromosome: np.ndarray, i_positions: np.ndarray, j_positions: np.ndarray
+) -> None:
+    """Exchange the genes at each ``(i, j)`` position pair in order, in place.
+
+    This is the deterministic half of swap mutation: the position pairs are
+    drawn separately (see :func:`repro.ga.kernels.draw_swap_positions`) so the
+    loop and vectorized backends can share one stream of draws and produce
+    bit-identical children.
+    """
+    for i, j in zip(i_positions, j_positions):
+        chromosome[i], chromosome[j] = chromosome[j], chromosome[i]
 
 
 @dataclass(frozen=True)

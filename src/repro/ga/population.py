@@ -14,7 +14,6 @@ from typing import List
 
 import numpy as np
 
-from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike, ensure_rng
 from ..util.validation import require_positive_int, require_probability
 from .encoding import chromosome_from_queues, random_chromosome

@@ -8,13 +8,13 @@ estimated per-task communication cost of each processor's link.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..util.errors import ConfigurationError
-from ..workloads.task import Task, TaskSet
+from ..workloads.task import Task
 
 __all__ = ["BatchProblem"]
 
@@ -61,7 +61,10 @@ class BatchProblem:
             raise ConfigurationError("task ids in a batch must be unique")
         if self.rates.ndim != 1 or self.rates.size == 0:
             raise ConfigurationError("rates must be a non-empty 1-D array")
-        if self.pending_loads.shape != self.rates.shape or self.comm_costs.shape != self.rates.shape:
+        if (
+            self.pending_loads.shape != self.rates.shape
+            or self.comm_costs.shape != self.rates.shape
+        ):
             raise ConfigurationError("pending_loads and comm_costs must match rates in shape")
         if self.n_tasks == 0:
             raise ConfigurationError("a batch problem requires at least one task")

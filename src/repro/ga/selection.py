@@ -24,6 +24,7 @@ __all__ = [
     "RankSelection",
     "selection_from_name",
     "roulette_probabilities",
+    "roulette_select",
 ]
 
 
@@ -41,6 +42,25 @@ def roulette_probabilities(fitness: np.ndarray) -> np.ndarray:
     if total <= 0:
         return np.full(fitness.size, 1.0 / fitness.size)
     return safe / total
+
+
+def roulette_select(fitness: np.ndarray, n: int, rng: RNGLike = None) -> np.ndarray:
+    """Draw *n* roulette-wheel parent indices with a fixed draw contract.
+
+    Consumes exactly ``n`` uniforms in one ``rng.random(n)`` block and maps
+    them through the wheel's normalised cumulative distribution — the same
+    spins ``numpy``'s ``Generator.choice`` performs internally, but spelled
+    out so the GA's RNG draw-order contract (see :mod:`repro.ga.kernels`)
+    does not depend on ``numpy`` internals.  Both kernel backends select
+    parents through this function, so selection is bit-identical between
+    them for a fixed seed.
+    """
+    n = require_positive_int(n, "number of selections")
+    gen = ensure_rng(rng)
+    probabilities = roulette_probabilities(np.asarray(fitness, dtype=float))
+    wheel = np.cumsum(probabilities)
+    wheel /= wheel[-1]
+    return wheel.searchsorted(gen.random(n), side="right").astype(np.int64)
 
 
 class SelectionOperator(ABC):
@@ -62,10 +82,7 @@ class RouletteWheelSelection(SelectionOperator):
     name = "roulette"
 
     def select(self, fitness: np.ndarray, n: int, rng: RNGLike = None) -> np.ndarray:
-        n = require_positive_int(n, "number of selections")
-        gen = ensure_rng(rng)
-        probabilities = roulette_probabilities(np.asarray(fitness, dtype=float))
-        return gen.choice(probabilities.size, size=n, replace=True, p=probabilities)
+        return roulette_select(fitness, n, rng=rng)
 
 
 class TournamentSelection(SelectionOperator):

@@ -12,7 +12,7 @@ import csv
 import io
 import json
 import os
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Union
 
 from ..experiments.figures import FigureResult
 from ..experiments.runner import ComparisonResult

@@ -73,6 +73,9 @@ class ComparisonRepeatJob:
     cluster_factory:
         Optional custom cluster builder; must be picklable for parallel runs
         (the executor falls back to in-process execution otherwise).
+    ga_backend:
+        Kernel backend of the GA schedulers in this repeat (``"vectorized"``
+        or ``"loop"`` — see :mod:`repro.ga.kernels`).
     """
 
     seed_entropy: int
@@ -84,6 +87,7 @@ class ComparisonRepeatJob:
     mean_comm_cost: float
     sim_config: Optional[SimulationConfig] = None
     cluster_factory: Optional[Callable[[np.random.Generator], Cluster]] = None
+    ga_backend: str = "vectorized"
 
 
 @dataclass(frozen=True)
@@ -121,6 +125,7 @@ def run_comparison_repeat(job: ComparisonRepeatJob) -> ComparisonRepeatOutcome:
             n_processors=cluster.n_processors,
             batch_size=job.batch_size,
             max_generations=job.max_generations,
+            ga_backend=job.ga_backend,
             rng=int(sched_seed_rng.integers(0, 2**31 - 1)),
         )
         # Every scheduler sees the same workload, cluster and the same stream

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..util.errors import ConfigurationError, SchedulingError
-from ..util.rng import RNGLike, ensure_rng
+from ..util.rng import ensure_rng
 from ..workloads.task import Task
 
 __all__ = [
@@ -233,7 +233,9 @@ class Scheduler(ABC):
     def observe_communication(self, proc: int, cost: float, time: float) -> None:
         """Notification of the measured dispatch cost of one task to *proc*."""
 
-    def observe_completion(self, proc: int, task: Task, processing_time: float, time: float) -> None:
+    def observe_completion(
+        self, proc: int, task: Task, processing_time: float, time: float
+    ) -> None:
         """Notification that *task* finished on *proc* after *processing_time* seconds."""
 
     def reset(self) -> None:

@@ -8,7 +8,8 @@ and :mod:`repro.core`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from dataclasses import replace
+from typing import Dict, List, Optional
 
 from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike
@@ -20,7 +21,13 @@ from .min_min import MinMinScheduler
 from .round_robin import RoundRobinScheduler
 from .zomaya import ZomayaScheduler, default_zomaya_ga_config
 
-__all__ = ["ALL_SCHEDULER_NAMES", "IMMEDIATE_SCHEDULER_NAMES", "BATCH_SCHEDULER_NAMES", "make_scheduler", "make_all_schedulers"]
+__all__ = [
+    "ALL_SCHEDULER_NAMES",
+    "IMMEDIATE_SCHEDULER_NAMES",
+    "BATCH_SCHEDULER_NAMES",
+    "make_scheduler",
+    "make_all_schedulers",
+]
 
 #: The seven schedulers compared in the paper, in its figures' label order.
 ALL_SCHEDULER_NAMES: List[str] = ["EF", "LL", "RR", "ZO", "PN", "MM", "MX"]
@@ -37,6 +44,7 @@ def make_scheduler(
     batch_size: int = 200,
     max_generations: int = 1000,
     dynamic_batch: bool = True,
+    ga_backend: str = "vectorized",
     rng: RNGLike = None,
 ) -> Scheduler:
     """Construct one of the paper's schedulers by its two-letter label.
@@ -56,6 +64,10 @@ def make_scheduler(
     dynamic_batch:
         Whether PN uses the paper's dynamic batch-size rule (True) or the
         same fixed batch size as the baselines (False).
+    ga_backend:
+        Kernel backend of the GA schedulers (ZO and PN): ``"vectorized"``
+        (whole-population NumPy kernels, the default) or ``"loop"`` (the
+        per-individual reference) — see :mod:`repro.ga.kernels`.
     rng:
         Randomness source passed to the GA schedulers.
     """
@@ -73,7 +85,10 @@ def make_scheduler(
     if key == "ZO":
         return ZomayaScheduler(
             batch_size=batch_size,
-            ga_config=default_zomaya_ga_config(max_generations=max_generations),
+            ga_config=replace(
+                default_zomaya_ga_config(max_generations=max_generations),
+                backend=ga_backend,
+            ),
             rng=rng,
         )
     if key == "PN":
@@ -92,7 +107,10 @@ def make_scheduler(
         )
         return PNScheduler(
             n_processors=n_processors,
-            ga_config=default_pn_ga_config(max_generations=max_generations),
+            ga_config=replace(
+                default_pn_ga_config(max_generations=max_generations),
+                backend=ga_backend,
+            ),
             batch_sizer=batch_sizer,
             rng=rng,
         )
@@ -107,6 +125,7 @@ def make_all_schedulers(
     batch_size: int = 200,
     max_generations: int = 1000,
     dynamic_batch: bool = True,
+    ga_backend: str = "vectorized",
     rng: RNGLike = None,
     names: Optional[List[str]] = None,
 ) -> Dict[str, Scheduler]:
@@ -119,6 +138,7 @@ def make_all_schedulers(
             batch_size=batch_size,
             max_generations=max_generations,
             dynamic_batch=dynamic_batch,
+            ga_backend=ga_backend,
             rng=rng,
         )
         for name in selected

@@ -7,7 +7,6 @@ processor loads.  Worst case complexity Θ(1) per task.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from ..workloads.task import Task
 from .base import ImmediateScheduler, SchedulingContext

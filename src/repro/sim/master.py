@@ -15,7 +15,7 @@ The master owns:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
 
@@ -199,7 +199,9 @@ class Master:
         self._comm_estimates.update(proc, float(comm_cost))
         self.scheduler.observe_communication(proc, comm_cost, time)
 
-    def observe_completion(self, proc: int, task: Task, processing_time: float, time: float) -> None:
+    def observe_completion(
+        self, proc: int, task: Task, processing_time: float, time: float
+    ) -> None:
         """Record a task completion (updates load, rate estimates, notifies the policy)."""
         self._check_proc(proc)
         self.pending_loads[proc] = max(0.0, self.pending_loads[proc] - task.size_mflops)

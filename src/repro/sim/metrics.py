@@ -12,7 +12,7 @@ The paper evaluates schedulers with two related metrics (Sect. 4):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

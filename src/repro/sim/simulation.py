@@ -21,15 +21,14 @@ The dispatch protocol follows Sect. 3 of the paper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
-import numpy as np
 
 from ..cluster.cluster import Cluster
 from ..schedulers.base import Scheduler
 from ..util.errors import SimulationError
-from ..util.rng import RNGLike, ensure_rng, spawn_rngs
+from ..util.rng import RNGLike, spawn_rngs
 from ..workloads.task import Task, TaskSet
 from .engine import DiscreteEventEngine
 from .events import Event, EventKind
@@ -38,7 +37,12 @@ from .metrics import SimulationMetrics, compute_metrics
 from .trace import ExecutionTrace, TaskRecord
 from .worker import WorkerState
 
-__all__ = ["SimulationConfig", "SimulationResult", "DistributedSystemSimulation", "simulate_schedule"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "DistributedSystemSimulation",
+    "simulate_schedule",
+]
 
 
 @dataclass

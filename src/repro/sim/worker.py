@@ -9,7 +9,7 @@ a queue of tasks").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..cluster.processor import Processor

@@ -9,7 +9,7 @@ random draws made by one component changes.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

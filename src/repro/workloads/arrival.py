@@ -10,7 +10,6 @@ example and by the extension benches.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
 
 import numpy as np
 

@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
-import numpy as np
 
 from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike, ensure_rng, spawn_rngs

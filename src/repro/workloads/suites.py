@@ -12,12 +12,7 @@ from typing import Dict
 
 from ..util.errors import ConfigurationError
 from .arrival import AllAtOnce
-from .distributions import (
-    NormalSizes,
-    PoissonSizes,
-    SizeDistribution,
-    UniformSizes,
-)
+from .distributions import NormalSizes, PoissonSizes, UniformSizes
 from .generator import WorkloadSpec
 
 __all__ = [

@@ -9,8 +9,8 @@ processor in the system.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, Iterator, List, Sequence
 
 import numpy as np
 

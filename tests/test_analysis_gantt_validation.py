@@ -1,6 +1,5 @@
 """Tests for Gantt rendering and schedule validation."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import DynamicBatchSizer, FixedBatchSizer, PNScheduler, default_pn_ga_config
-from repro.ga import GAConfig
 from repro.schedulers import SchedulerMode, SchedulingContext
 from repro.util.errors import ConfigurationError
 from repro.workloads import Task

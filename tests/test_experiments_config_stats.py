@@ -1,12 +1,10 @@
 """Tests for experiment scales and statistics helpers."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
     SCALES,
     ExperimentScale,
-    SampleSummary,
     default_scale,
     get_scale,
     relative_change,

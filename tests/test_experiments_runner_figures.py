@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.experiments import (
-    FIGURES,
     comparison_table,
     compare_schedulers,
     experiment_summary,

@@ -64,11 +64,16 @@ class TestPopulations:
     def test_seeded_better_than_random_on_average(self, small_problem):
         seeded = seeded_population(small_problem, 12, random_fraction=0.3, rng=0)
         random_pop = random_population(small_problem, 12, rng=0)
+
         def mean_makespan(pop):
             assignments = np.vstack(
-                [decode_assignment(c, small_problem.n_tasks, small_problem.n_processors) for c in pop]
+                [
+                    decode_assignment(c, small_problem.n_tasks, small_problem.n_processors)
+                    for c in pop
+                ]
             )
             return evaluate_assignments(assignments, small_problem).makespans.mean()
+
         assert mean_makespan(seeded) < mean_makespan(random_pop)
 
     def test_random_population_valid(self, small_problem):

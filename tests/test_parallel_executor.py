@@ -7,7 +7,6 @@ other.  These are regression tests for that contract, plus unit tests of the
 executor mechanics (ordering, fallback, construction).
 """
 
-import warnings
 
 import numpy as np
 import pytest
@@ -22,7 +21,6 @@ from repro.experiments import (
 )
 from repro.parallel import (
     ComparisonRepeatJob,
-    ExperimentExecutor,
     GARunJob,
     ParallelExecutor,
     SerialExecutor,

@@ -25,7 +25,7 @@ from repro.schedulers import (
     SchedulingContext,
 )
 from repro.sim import simulate_schedule
-from repro.workloads import Task, TaskSet, UniformSizes, WorkloadSpec, generate_workload
+from repro.workloads import Task, UniformSizes, WorkloadSpec, generate_workload
 
 HEURISTICS = [
     EarliestFirstScheduler,
@@ -84,13 +84,14 @@ class TestSchedulerAssignmentInvariants:
 
 
 class TestGAInvariants:
+    @pytest.mark.parametrize("backend", ["loop", "vectorized"])
     @given(
         n_tasks=st.integers(min_value=2, max_value=25),
         n_procs=st.integers(min_value=2, max_value=6),
         seed=st.integers(min_value=0, max_value=5_000),
     )
     @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
-    def test_ga_result_is_consistent_schedule(self, n_tasks, n_procs, seed):
+    def test_ga_result_is_consistent_schedule(self, backend, n_tasks, n_procs, seed):
         rng = np.random.default_rng(seed)
         problem = BatchProblem(
             task_ids=np.arange(n_tasks) + 100,
@@ -99,7 +100,9 @@ class TestGAInvariants:
             pending_loads=rng.uniform(0.0, 500.0, n_procs),
             comm_costs=rng.uniform(0.0, 2.0, n_procs),
         )
-        config = GAConfig(population_size=8, max_generations=6, n_rebalances=1)
+        config = GAConfig(
+            population_size=8, max_generations=6, n_rebalances=1, backend=backend
+        )
         result = GeneticAlgorithm(config, rng=seed).evolve(problem)
         # queues cover exactly the batch's task ids
         flat = sorted(tid for q in result.best_queues for tid in q)
@@ -223,7 +226,10 @@ class TestSimulationInvariants:
         assert 0.0 < metrics.efficiency <= 1.0
         assert metrics.makespan >= tasks.total_mflops() / cluster.total_peak_rate() - 1e-9
         assert metrics.total_busy_seconds <= metrics.makespan * n_procs + 1e-6
-        assert metrics.efficiency + metrics.communication_fraction + metrics.idle_fraction == pytest.approx(1.0, abs=1e-6)
+        fractions = (
+            metrics.efficiency + metrics.communication_fraction + metrics.idle_fraction
+        )
+        assert fractions == pytest.approx(1.0, abs=1e-6)
         # every task record is attributed to a valid processor
         for record in result.trace:
             assert 0 <= record.proc_id < n_procs

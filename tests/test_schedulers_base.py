@@ -3,12 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.schedulers import (
-    ScheduleAssignment,
-    Scheduler,
-    SchedulerMode,
-    SchedulingContext,
-)
+from repro.schedulers import ScheduleAssignment, SchedulingContext
 from repro.schedulers.base import BatchScheduler, ImmediateScheduler
 from repro.util.errors import ConfigurationError, SchedulingError
 from repro.workloads import Task

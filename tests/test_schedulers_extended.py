@@ -44,7 +44,8 @@ class TestOpportunisticLoadBalancing:
     def test_picks_soonest_free_processor(self):
         # processor 0 has less backlog time (100/10=10) than processor 1 (50/2=25)
         ctx = make_context([10.0, 2.0], pending=[100.0, 50.0])
-        assert OpportunisticLoadBalancingScheduler().schedule([Task(0, 1.0)], ctx).processor_of(0) == 0
+        assignment = OpportunisticLoadBalancingScheduler().schedule([Task(0, 1.0)], ctx)
+        assert assignment.processor_of(0) == 0
 
     def test_ignores_task_size(self):
         ctx = make_context([10.0, 1000.0], pending=[0.0, 1.0])

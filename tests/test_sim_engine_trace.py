@@ -1,6 +1,5 @@
 """Tests for the event queue, discrete-event engine, traces and metrics."""
 
-import numpy as np
 import pytest
 
 from repro.sim import (
@@ -107,7 +106,9 @@ class TestDiscreteEventEngine:
         assert seen == [1.0, 2.0]
 
 
-def record(task_id=0, proc=0, size=100.0, arrival=0.0, assigned=0.0, dispatch=1.0, start=2.0, end=5.0):
+def record(
+    task_id=0, proc=0, size=100.0, arrival=0.0, assigned=0.0, dispatch=1.0, start=2.0, end=5.0
+):
     return TaskRecord(
         task_id=task_id,
         proc_id=proc,

@@ -58,8 +58,8 @@ class TestFormatSeriesTable:
 class TestFormatBarChart:
     def test_bars_scale_with_value(self):
         text = format_bar_chart({"small": 1.0, "big": 10.0}, width=20)
-        small_line = next(l for l in text.splitlines() if l.startswith("small"))
-        big_line = next(l for l in text.splitlines() if l.startswith("big"))
+        small_line = next(line for line in text.splitlines() if line.startswith("small"))
+        big_line = next(line for line in text.splitlines() if line.startswith("big"))
         assert big_line.count("#") > small_line.count("#")
 
     def test_empty_rejected(self):

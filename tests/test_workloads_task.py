@@ -1,6 +1,5 @@
 """Tests for the task and task-set models."""
 
-import numpy as np
 import pytest
 
 from repro.util.errors import WorkloadError
@@ -119,7 +118,8 @@ class TestTaskSet:
 
     def test_describe_keys(self, small_tasks):
         desc = small_tasks.describe()
-        for key in ("count", "total_mflops", "mean_mflops", "std_mflops", "min_mflops", "max_mflops"):
+        keys = ("count", "total_mflops", "mean_mflops", "std_mflops", "min_mflops", "max_mflops")
+        for key in keys:
             assert key in desc
 
     def test_equality(self, small_tasks):
