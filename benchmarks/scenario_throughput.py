@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Benchmark: discrete-event throughput (events/second) under fault injection.
+
+Runs library scenarios through :func:`repro.scenarios.run_scenario_cell` with
+a cheap immediate-mode scheduler, so the measurement is dominated by the
+engine / master / dynamics machinery rather than GA search, and reports how
+many simulation events per second the sim layer sustains.
+
+Record mode (the default) writes a BENCH json record::
+
+    PYTHONPATH=src python benchmarks/scenario_throughput.py \
+        --output benchmarks/BENCH_scenarios.json
+
+Check mode re-measures and gates against the committed record (used by the
+CI ``scenario-smoke`` job) with a generous tolerance, since absolute event
+rates vary across machines far more than the GA speedup ratios do::
+
+    PYTHONPATH=src python benchmarks/scenario_throughput.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.config import get_scale
+from repro.scenarios import ScenarioCell, get_scenario, run_scenario_cell
+
+DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_scenarios.json")
+
+#: Scenarios that exercise the dynamics machinery hardest.
+BENCH_SCENARIOS = ("steady-state", "failure-storm", "rolling-restart", "heavy-tail-mix")
+
+
+def events_per_second(
+    scenario: str, scale_name: str, seed: int, repeats: int
+) -> Dict[str, float]:
+    """Best-of-*repeats* event throughput of one scenario cell."""
+    scale = get_scale(scale_name)
+    cell = ScenarioCell(
+        spec=get_scenario(scenario, scale),
+        scheduler="LL",
+        repeat=0,
+        seed_entropy=seed,
+        batch_size=scale.batch_size,
+        max_generations=scale.max_generations,
+    )
+    best = 0.0
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        outcome = run_scenario_cell(cell)
+        elapsed = time.perf_counter() - start
+        if not outcome.conservation_ok:
+            raise AssertionError(f"scenario {scenario} violated task conservation")
+        events = outcome.events_processed
+        best = max(best, events / elapsed)
+    return {"events": events, "events_per_second": round(best, 1)}
+
+
+def measure(args: argparse.Namespace) -> Dict[str, object]:
+    return {
+        "benchmark": "scenario_throughput/events_per_second",
+        "scale": args.scale,
+        "scheduler": "LL",
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scenarios": {
+            name: events_per_second(name, args.scale, args.seed, args.repeats)
+            for name in BENCH_SCENARIOS
+        },
+    }
+
+
+def run_record(args: argparse.Namespace) -> int:
+    record = measure(args)
+    print(json.dumps(record, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def run_check(args: argparse.Namespace) -> int:
+    with open(args.record, encoding="utf8") as handle:
+        committed = json.load(handle)
+    measured = measure(args)
+    failed = False
+    for name, reference in committed["scenarios"].items():
+        current = measured["scenarios"].get(name)
+        if current is None:
+            print(f"FAIL: no measurement for scenario {name!r}", file=sys.stderr)
+            failed = True
+            continue
+        floor = reference["events_per_second"] * (1.0 - args.tolerance)
+        status = "PASS" if current["events_per_second"] >= floor else "FAIL"
+        print(
+            f"{status} [{name}]: {current['events_per_second']:.0f} events/s "
+            f"(committed {reference['events_per_second']:.0f}, floor {floor:.0f})"
+        )
+        if status == "FAIL":
+            failed = True
+    return 1 if failed else 0
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", default="smoke", help="experiment scale preset (default: smoke)"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="cell seed entropy")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats; the best is kept"
+    )
+    parser.add_argument("--output", default=None, help="write the BENCH json here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate measured events/sec against the committed record",
+    )
+    parser.add_argument(
+        "--record",
+        default=DEFAULT_RECORD,
+        help="committed BENCH json to gate against (with --check)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.6,
+        help="allowed fractional regression before --check fails (events/sec "
+        "vary widely across machines, so the default is deliberately loose)",
+    )
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    if args.check:
+        return run_check(args)
+    return run_record(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,10 @@ The package provides:
 * :mod:`repro.experiments` — the harness reproducing every figure of the
   paper's evaluation (Figs. 3–11);
 * :mod:`repro.parallel` — the experiment executors that shard independent
-  repeats across worker processes with deterministic, bit-identical results.
+  repeats across worker processes with deterministic, bit-identical results;
+* :mod:`repro.scenarios` — declarative cluster-dynamics scenarios (worker
+  failure/recovery/join, load spikes), a named scenario library, and the
+  sharded scenario-matrix runner.
 
 Quickstart
 ----------
@@ -57,6 +60,18 @@ from .parallel import (
     ParallelExecutor,
     SerialExecutor,
     executor_from_jobs,
+)
+from .scenarios import (
+    ClusterSpec,
+    DynamicsTimeline,
+    LoadSpike,
+    ScenarioSpec,
+    WorkerFailure,
+    WorkerJoin,
+    WorkerRecovery,
+    get_scenario,
+    run_scenario_matrix,
+    scenario_names,
 )
 from .schedulers import (
     ALL_SCHEDULER_NAMES,
@@ -150,4 +165,15 @@ __all__ = [
     "SimulationResult",
     "SimulationMetrics",
     "simulate_schedule",
+    # scenarios
+    "ScenarioSpec",
+    "ClusterSpec",
+    "DynamicsTimeline",
+    "WorkerFailure",
+    "WorkerRecovery",
+    "WorkerJoin",
+    "LoadSpike",
+    "scenario_names",
+    "get_scenario",
+    "run_scenario_matrix",
 ]

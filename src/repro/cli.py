@@ -7,11 +7,14 @@ Usage examples::
     python -m repro.cli all --scale smoke --output results/
     python -m repro.cli compare --workload normal --comm-cost 20 --scale small
     python -m repro.cli fig6 --scale medium --jobs 4
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios run failure-storm --scale smoke --jobs 2
 
-``--jobs N`` shards the independent repeats of an experiment across ``N``
-worker processes (see :mod:`repro.parallel`); all stochastic results are
-bit-identical to a serial run with the same seed (only measured wall-clock
-values, e.g. fig4's seconds, vary with contention).
+``--jobs N`` shards the independent repeats of an experiment (or the cells
+of a scenario matrix) across ``N`` worker processes (see
+:mod:`repro.parallel`); all stochastic results are bit-identical to a serial
+run with the same seed (only measured wall-clock values, e.g. fig4's
+seconds, vary with contention).
 """
 
 from __future__ import annotations
@@ -23,10 +26,18 @@ from typing import Optional, Sequence
 
 from .experiments.config import SCALES, get_scale
 from .experiments.figures import FIGURES, list_figures, run_figure
-from .experiments.reporting import comparison_table, experiment_summary, figure_report
+from .experiments.reporting import (
+    comparison_table,
+    experiment_summary,
+    figure_report,
+    scenario_matrix_table,
+)
 from .experiments.runner import compare_schedulers
 from .ga.kernels import BACKEND_NAMES
+from .io.results import save_scenario_matrix_json
 from .parallel import executor_from_jobs
+from .scenarios import make_all_scenarios, run_scenario_matrix, scenario_names
+from .schedulers.registry import ALL_SCHEDULER_NAMES
 from .util.errors import ReproError
 from .workloads.suites import paper_workloads, workload_by_name
 
@@ -73,6 +84,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmp_parser.add_argument(
         "--tasks", type=int, default=None, help="override the number of tasks"
+    )
+
+    scen_parser = sub.add_parser(
+        "scenarios", help="cluster-dynamics scenarios (fault injection, elasticity)"
+    )
+    scen_sub = scen_parser.add_subparsers(dest="scenario_command", required=True)
+    scen_list = scen_sub.add_parser(
+        "list", help="list the scenario library with descriptions and dynamics"
+    )
+    scen_list.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES.keys()),
+        help="scale at which to size the listed scenarios (default: small)",
+    )
+    scen_run = scen_sub.add_parser(
+        "run", help="run one or more scenarios as a (scenario x scheduler x repeat) matrix"
+    )
+    scen_run.add_argument(
+        "names",
+        nargs="+",
+        metavar="SCENARIO",
+        help=f"scenario names from the library: {', '.join(scenario_names())}",
+    )
+    _add_common_options(scen_run)
+    scen_run.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="independent repeats per (scenario, scheduler) cell "
+        "(default: the scale preset's repeat count)",
+    )
+    scen_run.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        choices=ALL_SCHEDULER_NAMES,
+        help="scheduler subset to run (default: each scenario's own set)",
+    )
+    scen_run.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the aggregate matrix as JSON to this path",
     )
     return parser
 
@@ -194,6 +251,49 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    print(f"Scenario library (sized at scale {scale.name!r}):")
+    for name, spec in make_all_scenarios(scale).items():
+        cluster = spec.cluster
+        print(f"\n  {name}")
+        print(f"    {spec.description}")
+        print(
+            f"    cluster: {cluster.kind}, {cluster.n_processors} workers"
+            + (f" (+{cluster.reserve_processors} reserve)" if cluster.reserve_processors else "")
+            + f"; tasks: {spec.n_tasks_expected}; dynamics: {len(spec.dynamics)} actions"
+        )
+        for line in spec.timeline().describe():
+            print(f"      - {line}")
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    scale = _scale_from_args(args)
+    executor = executor_from_jobs(scale.jobs)
+    try:
+        result = run_scenario_matrix(
+            args.names,
+            scale=scale,
+            schedulers=args.schedulers,
+            repeats=args.repeats,
+            seed=args.seed,
+            executor=executor,
+        )
+    finally:
+        executor.close()
+    print(scenario_matrix_table(result))
+    # Write the artifact even (especially) for a failing run: the per-cell
+    # aggregates are what one needs to debug a conservation violation.
+    if args.output:
+        path = save_scenario_matrix_json(result, args.output)
+        print(f"wrote {path}", file=sys.stderr)
+    if not result.conservation_ok():
+        print("error: task conservation violated in at least one cell", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -205,6 +305,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_all(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "scenarios":
+            if args.scenario_command == "list":
+                return _cmd_scenarios_list(args)
+            return _cmd_scenarios_run(args)
         return _cmd_figure(args.command, args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

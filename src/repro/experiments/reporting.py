@@ -2,16 +2,20 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional
 
 from ..util.tables import format_key_values, format_table
 from .figures import FigureResult
 from .runner import ComparisonResult
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..scenarios.runner import ScenarioMatrixResult
+
 __all__ = [
     "comparison_table",
     "figure_report",
     "experiment_summary",
+    "scenario_matrix_table",
 ]
 
 
@@ -62,6 +66,52 @@ def figure_report(figure: FigureResult, *, include_metadata: bool = True) -> str
             parts.append(comparison_table(comparison))
             parts.append("")
     return "\n".join(parts).rstrip() + "\n"
+
+
+def scenario_matrix_table(
+    result: "ScenarioMatrixResult", *, title: Optional[str] = None
+) -> str:
+    """Render a scenario-matrix run as one aligned table.
+
+    One row per (scenario, scheduler) aggregate, ordered as the matrix was
+    declared; the conservation column flags any cell that lost or duplicated
+    a task under fault injection (``yes`` everywhere in a healthy run).
+    """
+    headers = [
+        "scenario",
+        "scheduler",
+        "makespan_mean",
+        "makespan_std",
+        "efficiency_mean",
+        "rescheduled_mean",
+        "downtime_mean",
+        "conserved",
+    ]
+    rows = []
+    for scenario in result.scenarios:
+        for scheduler, agg in result.aggregates[scenario].items():
+            rows.append(
+                [
+                    scenario,
+                    scheduler,
+                    agg.makespan.mean,
+                    agg.makespan.std,
+                    agg.efficiency.mean,
+                    agg.tasks_rescheduled.mean,
+                    agg.worker_downtime_seconds.mean,
+                    "yes" if agg.conservation_ok else "NO",
+                ]
+            )
+    # A cell is one (scenario, scheduler, repeat) simulation, so
+    # len(outcomes) is the true run count; the scenarios x schedulers x
+    # repeats product would overstate it when scenarios carry different
+    # default scheduler sets.
+    full_title = title or (
+        f"Scenario matrix ({len(result.scenarios)} scenarios; "
+        f"{len(result.outcomes)} cells; repeats={result.repeats}; "
+        f"scale={result.scale_name}; executor={result.executor})"
+    )
+    return format_table(headers, rows, title=full_title)
 
 
 def experiment_summary(figures: Iterable[FigureResult]) -> str:

@@ -12,11 +12,14 @@ import csv
 import io
 import json
 import os
-from typing import Dict, Iterable, List, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Union
 
 from ..experiments.figures import FigureResult
 from ..experiments.runner import ComparisonResult
 from ..util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..scenarios.runner import ScenarioMatrixResult
 
 __all__ = [
     "figure_to_dict",
@@ -26,6 +29,10 @@ __all__ = [
     "figure_to_csv",
     "comparison_to_csv",
     "save_all_figures",
+    "scenario_matrix_to_dict",
+    "save_scenario_matrix_json",
+    "load_scenario_matrix_json",
+    "scenario_matrix_to_csv",
 ]
 
 #: Version stamp embedded in every serialised figure, so future format changes
@@ -161,6 +168,100 @@ def comparison_to_csv(comparison: ComparisonResult) -> str:
                 comparison.executor,
             ]
         )
+    return buffer.getvalue()
+
+
+def scenario_matrix_to_dict(result: "ScenarioMatrixResult") -> Dict:
+    """Convert a scenario-matrix result to a JSON-serialisable dictionary.
+
+    ``aggregates`` holds the executor-independent numbers (the runner's
+    :meth:`~repro.scenarios.runner.ScenarioMatrixResult.signature`), so two
+    payloads from the same seed must have equal ``aggregates`` regardless of
+    how many worker processes computed them — CI relies on this.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "scenario_matrix",
+        "scenarios": list(result.scenarios),
+        "schedulers": list(result.schedulers),
+        "repeats": result.repeats,
+        "scale": result.scale_name,
+        "executor": result.executor,
+        "conservation_ok": result.conservation_ok(),
+        "aggregates": result.signature(),
+    }
+
+
+def save_scenario_matrix_json(
+    result: "ScenarioMatrixResult", path: Union[str, os.PathLike]
+) -> str:
+    """Write a scenario-matrix result to *path* as pretty JSON; returns the path."""
+    path = os.fspath(path)
+    with open(path, "w", encoding="utf8") as handle:
+        json.dump(scenario_matrix_to_dict(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_scenario_matrix_json(path: Union[str, os.PathLike]) -> Dict:
+    """Load and validate a payload written by :func:`save_scenario_matrix_json`.
+
+    Returns the raw dictionary (aggregate summaries are not re-hydrated into
+    runner objects, mirroring :func:`figure_from_dict`).
+    """
+    with open(os.fspath(path), "r", encoding="utf8") as handle:
+        payload = json.load(handle)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported scenario matrix format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    if payload.get("kind") != "scenario_matrix":
+        raise ConfigurationError(
+            f"not a scenario matrix payload (kind={payload.get('kind')!r})"
+        )
+    return payload
+
+
+def scenario_matrix_to_csv(result: "ScenarioMatrixResult") -> str:
+    """Render a scenario matrix's aggregates as CSV text (one row per pair)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        [
+            "scenario",
+            "scheduler",
+            "makespan_mean",
+            "makespan_std",
+            "efficiency_mean",
+            "efficiency_std",
+            "tasks_rescheduled_mean",
+            "worker_downtime_mean",
+            "mean_queue_length",
+            "conservation_ok",
+            "repeats",
+            "executor",
+        ]
+    )
+    for scenario in result.scenarios:
+        for scheduler, agg in result.aggregates[scenario].items():
+            writer.writerow(
+                [
+                    scenario,
+                    scheduler,
+                    agg.makespan.mean,
+                    agg.makespan.std,
+                    agg.efficiency.mean,
+                    agg.efficiency.std,
+                    agg.tasks_rescheduled.mean,
+                    agg.worker_downtime_seconds.mean,
+                    agg.mean_queue_length.mean,
+                    agg.conservation_ok,
+                    agg.repeats,
+                    result.executor,
+                ]
+            )
     return buffer.getvalue()
 
 

@@ -1,0 +1,52 @@
+"""Scenario & fault-injection subsystem.
+
+Declarative cluster-dynamics scenarios (worker failure / recovery / join,
+load spikes) composed with cluster topology and workload suites, a named
+scenario library, and a sharded scenario-matrix runner built on
+:mod:`repro.parallel`.
+"""
+
+from .dynamics import (
+    DynamicsAction,
+    DynamicsTimeline,
+    LoadSpike,
+    WorkerFailure,
+    WorkerJoin,
+    WorkerRecovery,
+)
+from .registry import (
+    SCENARIO_BUILDERS,
+    get_scenario,
+    make_all_scenarios,
+    scenario_names,
+)
+from .runner import (
+    ScenarioAggregate,
+    ScenarioCell,
+    ScenarioCellOutcome,
+    ScenarioMatrixResult,
+    run_scenario_cell,
+    run_scenario_matrix,
+)
+from .spec import ClusterSpec, ScenarioSpec
+
+__all__ = [
+    "WorkerFailure",
+    "WorkerRecovery",
+    "WorkerJoin",
+    "LoadSpike",
+    "DynamicsAction",
+    "DynamicsTimeline",
+    "ClusterSpec",
+    "ScenarioSpec",
+    "SCENARIO_BUILDERS",
+    "scenario_names",
+    "get_scenario",
+    "make_all_scenarios",
+    "ScenarioCell",
+    "ScenarioCellOutcome",
+    "run_scenario_cell",
+    "ScenarioAggregate",
+    "ScenarioMatrixResult",
+    "run_scenario_matrix",
+]

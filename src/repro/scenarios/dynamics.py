@@ -1,0 +1,234 @@
+"""Declarative cluster-dynamics actions and the timeline that injects them.
+
+The paper's motivation is scheduling on *non-dedicated, changing* clusters,
+but the base simulator only varies per-processor availability — the cluster
+membership itself is fixed.  This module adds the missing axis: a
+:class:`DynamicsTimeline` is an ordered collection of declarative, picklable
+actions (worker failure / recovery / join, load spikes) that the simulator
+turns into the new :class:`~repro.sim.events.EventKind` events
+(``WORKER_FAILURE``, ``WORKER_RECOVERY``, ``WORKER_JOIN``, ``LOAD_SPIKE``).
+
+Conservation contract
+---------------------
+Fault injection never loses or duplicates work: the master re-queues a failed
+worker's in-flight task and master-side queue and re-invokes the scheduling
+policy, so every arrived task still completes exactly once (the test suite
+asserts this per scenario).  Load spikes materialise their extra tasks from
+the simulation's own dynamics RNG stream, so serial and process-parallel
+scenario runs stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Set, Tuple, Union
+
+from ..sim.events import EventKind
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng
+from ..util.validation import require_at_least, require_non_negative, require_positive_int
+from ..workloads.distributions import SizeDistribution
+from ..workloads.task import Task
+
+__all__ = [
+    "WorkerFailure",
+    "WorkerRecovery",
+    "WorkerJoin",
+    "LoadSpike",
+    "DynamicsAction",
+    "DynamicsTimeline",
+]
+
+
+def _check_time(time: float) -> float:
+    return require_non_negative(time, "dynamics action time")
+
+
+def _check_proc(proc: int) -> int:
+    return require_at_least(proc, 0, "proc")
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Worker *proc* vanishes at *time*: queued and in-flight work is re-queued."""
+
+    time: float
+    proc: int
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+        _check_proc(self.proc)
+
+
+@dataclass(frozen=True)
+class WorkerRecovery:
+    """A previously failed worker *proc* rejoins the cluster at *time*."""
+
+    time: float
+    proc: int
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+        _check_proc(self.proc)
+
+
+@dataclass(frozen=True)
+class WorkerJoin:
+    """A pre-provisioned worker *proc* joins the cluster for the first time.
+
+    Workers with a join action start the simulation offline (they are outside
+    the cluster until their join time) but accrue no downtime for the
+    pre-join phase.
+    """
+
+    time: float
+    proc: int
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+        _check_proc(self.proc)
+
+
+@dataclass(frozen=True)
+class LoadSpike:
+    """A burst of *n_tasks* extra tasks (sizes drawn from *sizes*) at *time*.
+
+    The tasks are materialised by the simulation's dynamics RNG stream with
+    ids continuing after the base workload, so spikes never collide with or
+    perturb the base tasks' randomness.
+    """
+
+    time: float
+    n_tasks: int
+    sizes: SizeDistribution
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+        require_positive_int(self.n_tasks, "load spike n_tasks")
+
+    def materialise(self, first_task_id: int, rng: RNGLike = None) -> List[Task]:
+        """Draw the spike's tasks (arrival time = spike time, consecutive ids)."""
+        gen = ensure_rng(rng)
+        sizes = self.sizes.sample(int(self.n_tasks), gen)
+        return [
+            Task(
+                task_id=first_task_id + i,
+                size_mflops=float(sizes[i]),
+                arrival_time=self.time,
+            )
+            for i in range(int(self.n_tasks))
+        ]
+
+
+DynamicsAction = Union[WorkerFailure, WorkerRecovery, WorkerJoin, LoadSpike]
+
+_EVENT_KIND_OF = {
+    WorkerFailure: EventKind.WORKER_FAILURE,
+    WorkerRecovery: EventKind.WORKER_RECOVERY,
+    WorkerJoin: EventKind.WORKER_JOIN,
+    LoadSpike: EventKind.LOAD_SPIKE,
+}
+
+
+class DynamicsTimeline:
+    """An ordered, validated sequence of cluster-dynamics actions.
+
+    Implements the :class:`~repro.sim.simulation.DynamicsTimelineLike`
+    protocol the simulator consumes.  Actions are sorted by ``(time,
+    declaration order)`` so ties resolve deterministically.
+    """
+
+    def __init__(self, actions: Iterable[DynamicsAction] = ()):
+        actions = list(actions)
+        for action in actions:
+            if type(action) not in _EVENT_KIND_OF:
+                raise ConfigurationError(
+                    f"unknown dynamics action {action!r}; expected one of "
+                    f"{sorted(cls.__name__ for cls in _EVENT_KIND_OF)}"
+                )
+        self._actions: List[DynamicsAction] = sorted(
+            actions, key=lambda a: a.time, reverse=False
+        )
+        # A worker can only join once, and it must not fail before joining.
+        joins: Dict[int, float] = {}
+        for action in self._actions:
+            if isinstance(action, WorkerJoin):
+                if action.proc in joins:
+                    raise ConfigurationError(
+                        f"processor {action.proc} has more than one join action"
+                    )
+                joins[action.proc] = action.time
+        for action in self._actions:
+            if isinstance(action, (WorkerFailure, WorkerRecovery)):
+                join_time = joins.get(action.proc)
+                if join_time is not None and action.time < join_time:
+                    raise ConfigurationError(
+                        f"processor {action.proc} fails/recovers at t={action.time} "
+                        f"before joining at t={join_time}"
+                    )
+
+    @property
+    def actions(self) -> List[DynamicsAction]:
+        """The actions in injection order."""
+        return list(self._actions)
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __bool__(self) -> bool:
+        return bool(self._actions)
+
+    def max_proc(self) -> int:
+        """Highest processor id any action references (-1 when none do)."""
+        procs = [a.proc for a in self._actions if hasattr(a, "proc")]
+        return max(procs, default=-1)
+
+    def initially_offline(self) -> Set[int]:
+        """Processors that join later and therefore start outside the cluster."""
+        return {a.proc for a in self._actions if isinstance(a, WorkerJoin)}
+
+    def injected_task_count(self) -> int:
+        """Total extra tasks all load spikes will inject."""
+        return sum(a.n_tasks for a in self._actions if isinstance(a, LoadSpike))
+
+    def sim_events(
+        self, *, next_task_id: int, rng: RNGLike = None
+    ) -> Sequence[Tuple[float, EventKind, Dict[str, Any]]]:
+        """Materialise the ``(time, kind, data)`` triples the engine schedules.
+
+        Load-spike tasks are drawn action-by-action in timeline order from
+        *rng*, so the same seed always produces the same injected workload.
+        """
+        gen = ensure_rng(rng)
+        events: List[Tuple[float, EventKind, Dict[str, Any]]] = []
+        task_id = int(next_task_id)
+        for action in self._actions:
+            kind = _EVENT_KIND_OF[type(action)]
+            if isinstance(action, LoadSpike):
+                tasks = action.materialise(task_id, gen)
+                task_id += len(tasks)
+                events.append((action.time, kind, {"tasks": tasks}))
+            else:
+                events.append((action.time, kind, {"proc": action.proc}))
+        return events
+
+    def describe(self) -> List[str]:
+        """One human-readable line per action (for reports and ``scenarios list``)."""
+        lines = []
+        for action in self._actions:
+            if isinstance(action, LoadSpike):
+                lines.append(
+                    f"t={action.time:g}: load spike of {action.n_tasks} tasks "
+                    f"({action.sizes.name})"
+                )
+            else:
+                verb = {
+                    WorkerFailure: "fails",
+                    WorkerRecovery: "recovers",
+                    WorkerJoin: "joins",
+                }[type(action)]
+                lines.append(f"t={action.time:g}: worker {action.proc} {verb}")
+        return lines
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DynamicsTimeline(n_actions={len(self._actions)})"

@@ -1,0 +1,267 @@
+"""The named scenario library.
+
+Mirrors :mod:`repro.schedulers.registry`: every scenario is discoverable by a
+stable name and constructed by a builder parameterised by an
+:class:`~repro.experiments.config.ExperimentScale`, so the same scenario
+shape runs at ``smoke`` scale in CI and at ``paper`` scale for real studies.
+
+The eight built-in scenarios cover the cluster-dynamics axes the paper's
+motivation names but its experiments abstract away:
+
+========================  ====================================================
+``steady-state``          control: fixed membership, dedicated nodes
+``diurnal-load``          background load cycles + arrivals over a window
+``flash-crowd``           sudden bursts of extra tasks mid-run
+``failure-storm``         a third of the cluster fails, later recovers
+``rolling-restart``       staggered fail/recover pairs sweep the cluster
+``elastic-scale-out``     reserve workers join while the queue drains
+``straggler-node``        one node pinned to a sliver of its peak rate
+``heavy-tail-mix``        1:1000 task sizes + failure + join + spike
+========================  ====================================================
+
+Event times are expressed as fractions of a crude makespan estimate
+(total work over aggregate mean rate), which keeps every scenario's dynamics
+inside the run at any scale.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..experiments.config import ExperimentScale, default_scale
+from ..util.errors import ConfigurationError
+from ..workloads.arrival import BurstArrivals, UniformArrivals
+from ..workloads.distributions import UniformSizes
+from ..workloads.generator import WorkloadSpec
+from ..workloads.suites import (
+    normal_paper_workload,
+    poisson_small_workload,
+    uniform_wide_workload,
+)
+from .dynamics import LoadSpike, WorkerFailure, WorkerJoin, WorkerRecovery
+from .spec import ClusterSpec, ScenarioSpec
+
+__all__ = [
+    "SCENARIO_BUILDERS",
+    "scenario_names",
+    "get_scenario",
+    "make_all_scenarios",
+]
+
+#: Midpoint of the default heterogeneous peak-rate range (Mflop/s); good
+#: enough for sizing event times relative to the expected run length.
+_MEAN_PEAK_RATE = 275.0
+
+
+def _horizon(
+    scale: ExperimentScale, workload: WorkloadSpec, mean_comm_cost: float = 10.0
+) -> float:
+    """Crude makespan estimate: compute time plus dispatch time, both spread
+    over the cluster (links transfer in parallel, one per worker)."""
+    n = max(scale.n_processors, 1)
+    compute = workload.n_tasks * workload.sizes.mean() / (n * _MEAN_PEAK_RATE)
+    dispatch = workload.n_tasks * mean_comm_cost / n
+    return max(compute + dispatch, 1.0)
+
+
+def _steady_state(scale: ExperimentScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="steady-state",
+        description=(
+            "Control scenario: dedicated heterogeneous cluster, fixed "
+            "membership, the paper's normal workload."
+        ),
+        cluster=ClusterSpec(n_processors=scale.n_processors),
+        workload=normal_paper_workload(scale.n_tasks),
+        tags=("control",),
+    )
+
+
+def _diurnal_load(scale: ExperimentScale) -> ScenarioSpec:
+    workload = normal_paper_workload(scale.n_tasks)
+    horizon = _horizon(scale, workload)
+    workload.arrivals = UniformArrivals(duration=0.5 * horizon)
+    return ScenarioSpec(
+        name="diurnal-load",
+        description=(
+            "Non-dedicated nodes with sinusoidal/random-walk background load; "
+            "tasks trickle in over half the horizon."
+        ),
+        cluster=ClusterSpec(n_processors=scale.n_processors, kind="varying"),
+        workload=workload,
+        tags=("availability",),
+    )
+
+
+def _flash_crowd(scale: ExperimentScale) -> ScenarioSpec:
+    workload = poisson_small_workload(scale.n_tasks)
+    horizon = _horizon(scale, workload)
+    spike_tasks = max(1, scale.n_tasks // 2)
+    sizes = workload.sizes
+    return ScenarioSpec(
+        name="flash-crowd",
+        description=(
+            "Two sudden bursts of extra tasks (each half the base workload) "
+            "land mid-run on top of small Poisson tasks."
+        ),
+        cluster=ClusterSpec(n_processors=scale.n_processors),
+        workload=workload,
+        dynamics=(
+            LoadSpike(time=0.3 * horizon, n_tasks=spike_tasks, sizes=sizes),
+            LoadSpike(time=0.6 * horizon, n_tasks=spike_tasks, sizes=sizes),
+        ),
+        tags=("load",),
+    )
+
+
+def _failure_storm(scale: ExperimentScale) -> ScenarioSpec:
+    workload = normal_paper_workload(scale.n_tasks)
+    horizon = _horizon(scale, workload)
+    n = scale.n_processors
+    n_failing = min(max(1, n // 3), n - 1)
+    dynamics = []
+    for i in range(n_failing):
+        fail_at = (0.15 + 0.15 * i / max(n_failing - 1, 1)) * horizon
+        recover_at = (0.55 + 0.2 * i / max(n_failing - 1, 1)) * horizon
+        dynamics.append(WorkerFailure(time=fail_at, proc=i))
+        dynamics.append(WorkerRecovery(time=recover_at, proc=i))
+    return ScenarioSpec(
+        name="failure-storm",
+        description=(
+            "A third of the workers fail in a short window mid-run and "
+            "recover much later; their queued work is rescheduled."
+        ),
+        cluster=ClusterSpec(n_processors=n),
+        workload=workload,
+        dynamics=tuple(dynamics),
+        tags=("faults",),
+    )
+
+
+def _rolling_restart(scale: ExperimentScale) -> ScenarioSpec:
+    workload = normal_paper_workload(scale.n_tasks)
+    horizon = _horizon(scale, workload)
+    n = scale.n_processors
+    # Restarts are spaced 0.6*horizon/n apart; capping the outage strictly
+    # below twice that spacing keeps at most two workers down simultaneously
+    # at every scale (at smoke scale the 8%-of-horizon cap binds instead).
+    spacing = 0.6 * horizon / max(n, 1)
+    outage = min(0.08 * horizon, 1.9 * spacing)
+    dynamics = []
+    for i in range(n):
+        fail_at = 0.1 * horizon + spacing * i
+        dynamics.append(WorkerFailure(time=fail_at, proc=i))
+        dynamics.append(WorkerRecovery(time=fail_at + outage, proc=i))
+    return ScenarioSpec(
+        name="rolling-restart",
+        description=(
+            "Every worker is restarted once in a staggered sweep "
+            "(maintenance roll); at most two workers are down at a time."
+        ),
+        cluster=ClusterSpec(n_processors=n),
+        workload=workload,
+        dynamics=tuple(dynamics),
+        tags=("faults", "maintenance"),
+    )
+
+
+def _elastic_scale_out(scale: ExperimentScale) -> ScenarioSpec:
+    total = scale.n_processors
+    reserve = min(max(1, total // 3), total - 1)
+    base = total - reserve
+    workload = normal_paper_workload(scale.n_tasks)
+    horizon = _horizon(scale, workload)
+    dynamics = tuple(
+        WorkerJoin(time=(0.15 + 0.4 * i / max(reserve - 1, 1)) * horizon, proc=base + i)
+        for i in range(reserve)
+    )
+    return ScenarioSpec(
+        name="elastic-scale-out",
+        description=(
+            "A third of the capacity is pre-provisioned reserve that joins "
+            "in waves while the queue drains."
+        ),
+        cluster=ClusterSpec(n_processors=base, reserve_processors=reserve),
+        workload=workload,
+        dynamics=dynamics,
+        tags=("elasticity",),
+    )
+
+
+def _straggler_node(scale: ExperimentScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="straggler-node",
+        description=(
+            "One node offers only 15% of its peak rate for the whole run; "
+            "rate-aware policies should starve it."
+        ),
+        cluster=ClusterSpec(n_processors=scale.n_processors, kind="straggler"),
+        workload=normal_paper_workload(scale.n_tasks),
+        tags=("availability", "heterogeneity"),
+    )
+
+
+def _heavy_tail_mix(scale: ExperimentScale) -> ScenarioSpec:
+    total = scale.n_processors
+    reserve = 1 if total >= 2 else 0
+    base = total - reserve
+    workload = uniform_wide_workload(scale.n_tasks)
+    horizon = _horizon(scale, workload)
+    workload.arrivals = BurstArrivals(n_bursts=4, gap=0.1 * horizon)
+    dynamics: List[object] = [
+        WorkerFailure(time=0.25 * horizon, proc=0),
+        WorkerRecovery(time=0.5 * horizon, proc=0),
+        LoadSpike(
+            time=0.4 * horizon,
+            n_tasks=max(1, scale.n_tasks // 4),
+            sizes=UniformSizes(10.0, 1000.0),
+        ),
+    ]
+    if reserve:
+        dynamics.append(WorkerJoin(time=0.3 * horizon, proc=base))
+    return ScenarioSpec(
+        name="heavy-tail-mix",
+        description=(
+            "1:1000 task sizes arriving in bursts, plus one failure/recovery, "
+            "one elastic join and a mid-run spike: the kitchen sink."
+        ),
+        cluster=ClusterSpec(n_processors=base, reserve_processors=reserve),
+        workload=workload,
+        dynamics=tuple(dynamics),
+        tags=("faults", "elasticity", "load", "heterogeneity"),
+    )
+
+
+#: Scenario builders keyed by their stable names (insertion order is the
+#: presentation order of ``repro scenarios list``).
+SCENARIO_BUILDERS: Dict[str, Callable[[ExperimentScale], ScenarioSpec]] = {
+    "steady-state": _steady_state,
+    "diurnal-load": _diurnal_load,
+    "flash-crowd": _flash_crowd,
+    "failure-storm": _failure_storm,
+    "rolling-restart": _rolling_restart,
+    "elastic-scale-out": _elastic_scale_out,
+    "straggler-node": _straggler_node,
+    "heavy-tail-mix": _heavy_tail_mix,
+}
+
+
+def scenario_names() -> List[str]:
+    """Names of every scenario in the library, in presentation order."""
+    return list(SCENARIO_BUILDERS)
+
+
+def get_scenario(name: str, scale: Optional[ExperimentScale] = None) -> ScenarioSpec:
+    """Build the named scenario at the given scale (default: the default scale)."""
+    key = name.strip().lower()
+    if key not in SCENARIO_BUILDERS:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; expected one of {scenario_names()}"
+        )
+    return SCENARIO_BUILDERS[key](scale or default_scale())
+
+
+def make_all_scenarios(scale: Optional[ExperimentScale] = None) -> Dict[str, ScenarioSpec]:
+    """Every library scenario at the given scale, keyed by name."""
+    scale = scale or default_scale()
+    return {name: builder(scale) for name, builder in SCENARIO_BUILDERS.items()}

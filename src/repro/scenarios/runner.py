@@ -1,0 +1,338 @@
+"""The sharded scenario-matrix runner.
+
+One *cell* of the matrix is ``(scenario, scheduler, repeat)``: an independent
+simulation of one scheduler against one materialisation of one scenario.
+Cells are plain picklable job specs routed through a
+:class:`~repro.parallel.ExperimentExecutor`, exactly like the experiment
+harness's comparison repeats, so a matrix run shards across worker processes
+with ``--jobs N`` while remaining bit-identical to the serial run:
+
+* the master seed yields one 63-bit entropy draw per cell, in the fixed
+  nested order (scenario, scheduler, repeat);
+* each cell spawns its own four child streams (workload, cluster, simulation,
+  scheduler) from a private ``SeedSequence``, so no randomness is shared
+  between cells and results do not depend on which process ran them;
+* aggregates are folded in cell order.
+
+Every cell also verifies the fault-injection conservation invariant — each
+arrived task (base workload plus load spikes) completed exactly once — and
+the aggregate records whether any cell violated it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..experiments.config import ExperimentScale, default_scale
+from ..experiments.stats import SampleSummary, summarise
+from ..parallel.executor import ExperimentExecutor, resolve_executor
+from ..schedulers.registry import make_scheduler
+from ..sim.simulation import SimulationConfig, simulate_schedule
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike, ensure_rng
+from ..workloads.generator import generate_workload
+from .dynamics import DynamicsTimeline
+from .registry import get_scenario
+from .spec import ScenarioSpec
+
+__all__ = [
+    "ScenarioCell",
+    "ScenarioCellOutcome",
+    "run_scenario_cell",
+    "ScenarioAggregate",
+    "ScenarioMatrixResult",
+    "run_scenario_matrix",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioCell:
+    """One independent unit of matrix work, as plain picklable data.
+
+    ``seed_entropy`` fully determines the cell's randomness (the worker
+    builds a private ``SeedSequence`` from it), so re-running a cell — in any
+    process — reproduces it bit-for-bit.
+    """
+
+    spec: ScenarioSpec
+    scheduler: str
+    repeat: int
+    seed_entropy: int
+    batch_size: int
+    max_generations: int
+    ga_backend: str = "vectorized"
+    sim_config: Optional[SimulationConfig] = None
+
+
+@dataclass(frozen=True)
+class ScenarioCellOutcome:
+    """Everything the matrix aggregates from one cell."""
+
+    scenario: str
+    scheduler: str
+    repeat: int
+    makespan: float
+    efficiency: float
+    mean_response_time: float
+    tasks_completed: int
+    tasks_expected: int
+    tasks_rescheduled: int
+    tasks_reclaimed: int
+    tasks_redirected: int
+    tasks_injected: int
+    worker_failures: int
+    worker_recoveries: int
+    worker_joins: int
+    worker_downtime_seconds: float
+    mean_queue_length: float
+    scheduler_invocations: int
+    events_processed: int
+    #: True when every arrived task completed exactly once despite dynamics.
+    conservation_ok: bool
+
+
+def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
+    """Simulate one matrix cell and verify task conservation.
+
+    Spawns the same (workload, cluster, simulation, scheduler) child-stream
+    layout as the experiment harness's comparison repeats, so cells are
+    reproducible independent of executor and process placement.
+    """
+    seed_seq = np.random.SeedSequence(cell.seed_entropy)
+    workload_rng, cluster_rng, sim_seed_rng, sched_seed_rng = (
+        np.random.default_rng(child) for child in seed_seq.spawn(4)
+    )
+    spec = cell.spec
+    tasks = generate_workload(spec.workload, workload_rng)
+    cluster = spec.build_cluster(cluster_rng)
+    scheduler = make_scheduler(
+        cell.scheduler,
+        n_processors=cluster.n_processors,
+        batch_size=cell.batch_size,
+        max_generations=cell.max_generations,
+        ga_backend=cell.ga_backend,
+        rng=int(sched_seed_rng.integers(0, 2**31 - 1)),
+    )
+    result = simulate_schedule(
+        scheduler,
+        cluster,
+        tasks,
+        config=cell.sim_config,
+        dynamics=DynamicsTimeline(spec.dynamics),
+        rng=int(sim_seed_rng.integers(0, 2**31 - 1)),
+    )
+
+    completed_ids = [record.task_id for record in result.trace.records]
+    expected = len(tasks) + result.tasks_injected
+    conservation_ok = (
+        len(completed_ids) == expected and len(set(completed_ids)) == len(completed_ids)
+    )
+    dynamics = result.metrics.dynamics
+    return ScenarioCellOutcome(
+        scenario=spec.name,
+        scheduler=cell.scheduler,
+        repeat=cell.repeat,
+        makespan=float(result.makespan),
+        efficiency=float(result.efficiency),
+        mean_response_time=float(result.metrics.mean_response_time),
+        tasks_completed=len(completed_ids),
+        tasks_expected=expected,
+        tasks_rescheduled=int(dynamics.tasks_rescheduled),
+        tasks_reclaimed=int(dynamics.tasks_reclaimed),
+        tasks_redirected=int(dynamics.tasks_redirected),
+        tasks_injected=int(dynamics.tasks_injected),
+        worker_failures=int(dynamics.worker_failures),
+        worker_recoveries=int(dynamics.worker_recoveries),
+        worker_joins=int(dynamics.worker_joins),
+        worker_downtime_seconds=float(dynamics.worker_downtime_seconds),
+        mean_queue_length=float(result.metrics.mean_queue_length),
+        scheduler_invocations=int(result.scheduler_invocations),
+        events_processed=int(result.events_processed),
+        conservation_ok=conservation_ok,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioAggregate:
+    """Per-(scenario, scheduler) summaries over all repeats."""
+
+    scenario: str
+    scheduler: str
+    repeats: int
+    makespan: SampleSummary
+    efficiency: SampleSummary
+    mean_response_time: SampleSummary
+    tasks_rescheduled: SampleSummary
+    worker_downtime_seconds: SampleSummary
+    mean_queue_length: SampleSummary
+    conservation_ok: bool
+
+
+@dataclass
+class ScenarioMatrixResult:
+    """Outcome of one scenario-matrix run."""
+
+    scenarios: List[str]
+    schedulers: List[str]
+    repeats: int
+    outcomes: List[ScenarioCellOutcome]
+    aggregates: Dict[str, Dict[str, ScenarioAggregate]] = field(default_factory=dict)
+    executor: str = "serial"
+    scale_name: str = ""
+
+    def aggregate(self, scenario: str, scheduler: str) -> ScenarioAggregate:
+        """The aggregate of one (scenario, scheduler) pair."""
+        try:
+            return self.aggregates[scenario][scheduler]
+        except KeyError:
+            raise ConfigurationError(
+                f"no aggregate for scenario {scenario!r} / scheduler {scheduler!r}"
+            ) from None
+
+    def conservation_ok(self) -> bool:
+        """Whether every cell in the matrix conserved its tasks."""
+        return all(outcome.conservation_ok for outcome in self.outcomes)
+
+    def best_by_makespan(self, scenario: str) -> str:
+        """Scheduler with the lowest mean makespan on *scenario*."""
+        aggs = self.aggregates[scenario]
+        return min(aggs, key=lambda s: aggs[s].makespan.mean)
+
+    def signature(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Executor-independent nested dict of every aggregate number.
+
+        Serial and ``--jobs N`` runs with the same seed must produce equal
+        signatures — CI asserts this bit-for-bit.
+        """
+        return {
+            scenario: {
+                scheduler: {
+                    "makespan_mean": agg.makespan.mean,
+                    "makespan_std": agg.makespan.std,
+                    "efficiency_mean": agg.efficiency.mean,
+                    "efficiency_std": agg.efficiency.std,
+                    "mean_response_time": agg.mean_response_time.mean,
+                    "tasks_rescheduled_mean": agg.tasks_rescheduled.mean,
+                    "worker_downtime_mean": agg.worker_downtime_seconds.mean,
+                    "mean_queue_length": agg.mean_queue_length.mean,
+                    "conservation_ok": float(agg.conservation_ok),
+                }
+                for scheduler, agg in by_scheduler.items()
+            }
+            for scenario, by_scheduler in self.aggregates.items()
+        }
+
+
+def _aggregate_outcomes(
+    outcomes: Sequence[ScenarioCellOutcome],
+) -> Dict[str, Dict[str, ScenarioAggregate]]:
+    grouped: Dict[Tuple[str, str], List[ScenarioCellOutcome]] = {}
+    for outcome in outcomes:
+        grouped.setdefault((outcome.scenario, outcome.scheduler), []).append(outcome)
+    aggregates: Dict[str, Dict[str, ScenarioAggregate]] = {}
+    for (scenario, scheduler), cells in grouped.items():
+        aggregates.setdefault(scenario, {})[scheduler] = ScenarioAggregate(
+            scenario=scenario,
+            scheduler=scheduler,
+            repeats=len(cells),
+            makespan=summarise(c.makespan for c in cells),
+            efficiency=summarise(c.efficiency for c in cells),
+            mean_response_time=summarise(c.mean_response_time for c in cells),
+            tasks_rescheduled=summarise(float(c.tasks_rescheduled) for c in cells),
+            worker_downtime_seconds=summarise(
+                c.worker_downtime_seconds for c in cells
+            ),
+            mean_queue_length=summarise(c.mean_queue_length for c in cells),
+            conservation_ok=all(c.conservation_ok for c in cells),
+        )
+    return aggregates
+
+
+def run_scenario_matrix(
+    scenarios: Sequence[Union[str, ScenarioSpec]],
+    *,
+    scale: Optional[ExperimentScale] = None,
+    schedulers: Optional[Sequence[str]] = None,
+    repeats: Optional[int] = None,
+    seed: RNGLike = None,
+    sim_config: Optional[SimulationConfig] = None,
+    executor: Optional[ExperimentExecutor] = None,
+    jobs: Optional[int] = None,
+) -> ScenarioMatrixResult:
+    """Run the (scenario × scheduler × repeat) matrix and aggregate it.
+
+    Parameters
+    ----------
+    scenarios:
+        Scenario names (resolved through the library at *scale*) or explicit
+        :class:`ScenarioSpec` objects, freely mixed.
+    scale:
+        Experiment scale; sizes library scenarios and supplies the batch
+        size, GA budget, default repeat count, GA backend and default
+        ``jobs``.
+    schedulers:
+        Scheduler set for every scenario; defaults to each scenario's own
+        ``schedulers`` tuple.
+    repeats:
+        Independent repeats per (scenario, scheduler); default
+        ``scale.repeats``.
+    seed:
+        Master seed; per-cell streams are derived from it in matrix order.
+    executor, jobs:
+        Routing of the cells: an explicit executor wins, else *jobs* (else
+        ``scale.jobs``) selects serial or process-parallel execution.
+        Aggregates are bit-identical for any choice.
+    """
+    scale = scale or default_scale()
+    specs: List[ScenarioSpec] = [
+        get_scenario(item, scale) if isinstance(item, str) else item for item in scenarios
+    ]
+    if not specs:
+        raise ConfigurationError("scenario matrix needs at least one scenario")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate scenario names in matrix: {names}")
+    n_repeats = int(repeats) if repeats is not None else scale.repeats
+    if n_repeats <= 0:
+        raise ConfigurationError(f"repeats must be positive, got {n_repeats}")
+
+    executor = resolve_executor(executor, jobs if jobs is not None else scale.jobs)
+    master_rng = ensure_rng(seed)
+    cells: List[ScenarioCell] = []
+    scheduler_union: List[str] = []
+    for spec in specs:
+        # Deduplicate while keeping order: a repeated name (e.g. CLI
+        # `--schedulers EF EF`) must not silently double a cell's repeats.
+        cell_schedulers = list(
+            dict.fromkeys(s.upper() for s in (schedulers or spec.schedulers))
+        )
+        for scheduler in cell_schedulers:
+            if scheduler not in scheduler_union:
+                scheduler_union.append(scheduler)
+            for repeat in range(n_repeats):
+                cells.append(
+                    ScenarioCell(
+                        spec=spec,
+                        scheduler=scheduler,
+                        repeat=repeat,
+                        seed_entropy=int(master_rng.integers(0, 2**63 - 1)),
+                        batch_size=scale.batch_size,
+                        max_generations=scale.max_generations,
+                        ga_backend=scale.ga_backend,
+                        sim_config=sim_config,
+                    )
+                )
+
+    outcomes = executor.map(run_scenario_cell, cells)
+    return ScenarioMatrixResult(
+        scenarios=names,
+        schedulers=scheduler_union,
+        repeats=n_repeats,
+        outcomes=list(outcomes),
+        aggregates=_aggregate_outcomes(outcomes),
+        executor=executor.describe(),
+        scale_name=scale.name,
+    )

@@ -1,0 +1,223 @@
+"""Declarative scenario specifications: cluster + workload + dynamics.
+
+A :class:`ScenarioSpec` composes everything one stress-test situation needs —
+cluster topology (with heterogeneity and availability variation), a workload
+suite, the scheduler set it is meant to exercise, and a timeline of cluster
+dynamics — as plain picklable data.  Specs carry no live objects: clusters
+and task sets are materialised per run from the run's own seed stream, which
+is what lets the scenario-matrix runner shard cells across worker processes
+with bit-identical results (see :mod:`repro.scenarios.runner`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Tuple
+
+from ..cluster.cluster import Cluster
+from ..cluster.topology import (
+    DEFAULT_RATE_RANGE,
+    heterogeneous_cluster,
+    homogeneous_cluster,
+    varying_availability_cluster,
+)
+from ..cluster.variation import ConstantAvailability
+from ..schedulers.registry import ALL_SCHEDULER_NAMES
+from ..util.errors import ConfigurationError
+from ..util.rng import RNGLike
+from ..util.validation import (
+    require_at_least,
+    require_non_negative,
+    require_positive_int,
+)
+from ..workloads.generator import WorkloadSpec
+from .dynamics import DynamicsAction, DynamicsTimeline, WorkerJoin
+
+__all__ = ["ClusterSpec", "ScenarioSpec"]
+
+#: Cluster families a :class:`ClusterSpec` can describe.
+CLUSTER_KINDS = ("homogeneous", "heterogeneous", "varying", "straggler")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Declarative description of a cluster, materialised per run.
+
+    Attributes
+    ----------
+    n_processors:
+        Workers that are part of the cluster from the start.
+    kind:
+        ``"homogeneous"`` (identical dedicated nodes), ``"heterogeneous"``
+        (uniformly random peak rates, the paper's Sect. 4.2 system),
+        ``"varying"`` (mixes dedicated nodes with sinusoidal / random-walk
+        background load) or ``"straggler"`` (heterogeneous, but the first
+        node is pinned to a small constant availability).
+    mean_comm_cost:
+        Mean per-link communication cost in seconds.
+    rate_range:
+        Peak-rate range for the heterogeneous kinds.
+    rate_mflops:
+        Fixed peak rate for the homogeneous kind.
+    dedicated_fraction:
+        Fraction of dedicated nodes for the varying kind.
+    straggler_level:
+        Constant availability of the straggler node.
+    reserve_processors:
+        Extra pre-provisioned workers appended after the base ones.  They are
+        full cluster members as far as schedulers are concerned (encodings
+        are sized to the total) but start offline and only participate once a
+        :class:`~repro.scenarios.dynamics.WorkerJoin` action brings them in.
+    """
+
+    n_processors: int
+    kind: str = "heterogeneous"
+    mean_comm_cost: float = 10.0
+    rate_range: Tuple[float, float] = DEFAULT_RATE_RANGE
+    rate_mflops: float = 100.0
+    dedicated_fraction: float = 0.3
+    straggler_level: float = 0.15
+    reserve_processors: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.n_processors, "n_processors")
+        if self.kind not in CLUSTER_KINDS:
+            raise ConfigurationError(
+                f"unknown cluster kind {self.kind!r}; expected one of {sorted(CLUSTER_KINDS)}"
+            )
+        require_non_negative(self.mean_comm_cost, "mean_comm_cost")
+        require_at_least(self.reserve_processors, 0, "reserve_processors")
+        # Half-open (0, 1]: the shared range helper only does fully open/closed.
+        if not (0.0 < self.straggler_level <= 1.0):
+            raise ConfigurationError(
+                f"straggler_level must lie in (0, 1], got {self.straggler_level}"
+            )
+
+    @property
+    def total_processors(self) -> int:
+        """Base plus reserve workers (the processor count schedulers see)."""
+        return self.n_processors + self.reserve_processors
+
+    def build(self, rng: RNGLike = None) -> Cluster:
+        """Materialise the cluster (reserve workers included) from *rng*."""
+        total = self.total_processors
+        if self.kind == "homogeneous":
+            return homogeneous_cluster(
+                total, self.rate_mflops, mean_comm_cost=self.mean_comm_cost, rng=rng
+            )
+        if self.kind == "varying":
+            return varying_availability_cluster(
+                total,
+                rate_range=self.rate_range,
+                mean_comm_cost=self.mean_comm_cost,
+                dedicated_fraction=self.dedicated_fraction,
+                rng=rng,
+            )
+        cluster = heterogeneous_cluster(
+            total,
+            rate_range=self.rate_range,
+            mean_comm_cost=self.mean_comm_cost,
+            rng=rng,
+        )
+        if self.kind == "straggler":
+            # The node objects are freshly built above, so patching in place
+            # cannot leak into any other cluster.
+            cluster[0].availability = ConstantAvailability(self.straggler_level)
+        return cluster
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by reports and ``repro scenarios list``."""
+        return {
+            "kind": self.kind,
+            "n_processors": self.n_processors,
+            "reserve_processors": self.reserve_processors,
+            "mean_comm_cost": self.mean_comm_cost,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named cluster-dynamics scenario: everything a run needs, as data.
+
+    ``schedulers`` is the default scheduler set the scenario exercises; the
+    matrix runner may override it.  ``dynamics`` is the declarative action
+    timeline — pass it through :meth:`timeline` to get the validated object
+    the simulator consumes.
+    """
+
+    name: str
+    description: str
+    cluster: ClusterSpec
+    workload: WorkloadSpec
+    dynamics: Tuple[DynamicsAction, ...] = ()
+    schedulers: Tuple[str, ...] = tuple(ALL_SCHEDULER_NAMES)
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ConfigurationError("scenario name must be non-empty")
+        unknown = [s for s in self.schedulers if s.upper() not in ALL_SCHEDULER_NAMES]
+        if unknown:
+            raise ConfigurationError(
+                f"scenario {self.name!r} references unknown schedulers {unknown}"
+            )
+        if self.workload.n_tasks <= 0:
+            raise ConfigurationError(
+                f"scenario {self.name!r} needs a non-empty workload"
+            )
+        timeline = DynamicsTimeline(self.dynamics)  # validates action pairing
+        if timeline.max_proc() >= self.cluster.total_processors:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: dynamics reference processor "
+                f"{timeline.max_proc()} but the cluster only has "
+                f"{self.cluster.total_processors} (base + reserve)"
+            )
+        joins = {a.proc for a in self.dynamics if isinstance(a, WorkerJoin)}
+        reserve = set(
+            range(self.cluster.n_processors, self.cluster.total_processors)
+        )
+        missing = reserve - joins
+        if missing:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: reserve processors {sorted(missing)} "
+                "never join the cluster (add WorkerJoin actions or drop them)"
+            )
+        base_joins = joins - reserve
+        if base_joins:
+            # A join silently benches its worker until the join time, which is
+            # almost never what a spec author meant for a *base* worker.
+            raise ConfigurationError(
+                f"scenario {self.name!r}: join actions reference base processors "
+                f"{sorted(base_joins)}; joins are for reserve workers (declare "
+                "them via ClusterSpec.reserve_processors)"
+            )
+
+    def timeline(self) -> DynamicsTimeline:
+        """The validated dynamics timeline the simulator consumes."""
+        return DynamicsTimeline(self.dynamics)
+
+    @property
+    def n_tasks_expected(self) -> int:
+        """Base workload plus every load spike's injected tasks."""
+        return self.workload.n_tasks + self.timeline().injected_task_count()
+
+    def with_schedulers(self, names: Tuple[str, ...]) -> "ScenarioSpec":
+        """A copy of the spec restricted to the given scheduler set."""
+        return replace(self, schedulers=tuple(names))
+
+    def build_cluster(self, rng: RNGLike = None) -> Cluster:
+        """Materialise the scenario's cluster from *rng*."""
+        return self.cluster.build(rng)
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by reports and ``repro scenarios list``."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "cluster": self.cluster.describe(),
+            "workload": self.workload.describe(),
+            "n_dynamics_actions": len(self.dynamics),
+            "n_tasks_expected": self.n_tasks_expected,
+            "schedulers": list(self.schedulers),
+            "tags": list(self.tags),
+        }

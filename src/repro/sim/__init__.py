@@ -3,9 +3,10 @@
 from .engine import DiscreteEventEngine, EventQueue
 from .events import Event, EventKind
 from .master import Master
-from .metrics import ProcessorStats, SimulationMetrics, compute_metrics
+from .metrics import DynamicsStats, ProcessorStats, SimulationMetrics, compute_metrics
 from .simulation import (
     DistributedSystemSimulation,
+    DynamicsTimelineLike,
     SimulationConfig,
     SimulationResult,
     simulate_schedule,
@@ -23,8 +24,10 @@ __all__ = [
     "TaskRecord",
     "ExecutionTrace",
     "ProcessorStats",
+    "DynamicsStats",
     "SimulationMetrics",
     "compute_metrics",
+    "DynamicsTimelineLike",
     "SimulationConfig",
     "SimulationResult",
     "DistributedSystemSimulation",

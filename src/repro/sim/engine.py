@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Dict, List, Optional
+import itertools
+from typing import Callable, Dict, List, Optional, Set
 
 from ..util.errors import SimulationError
 from .events import Event, EventKind
@@ -47,6 +48,10 @@ class DiscreteEventEngine:
     event and may push follow-up events through :meth:`schedule`.  The engine
     enforces that time never goes backwards and guards against runaway event
     storms with a configurable event budget.
+
+    Each engine owns its own event sequence counter, so the ``(time, seq)``
+    tie-break ordering of simultaneous events is deterministic per simulation
+    and independent of any other simulation run in the same process.
     """
 
     def __init__(self, max_events: int = 10_000_000) -> None:
@@ -57,20 +62,47 @@ class DiscreteEventEngine:
         self.processed_events = 0
         self.max_events = int(max_events)
         self._handlers: Dict[EventKind, Callable[[Event], None]] = {}
+        self._sequence = itertools.count()
+        self._cancelled: Set[int] = set()
 
     def register(self, kind: EventKind, handler: Callable[[Event], None]) -> None:
         """Register the handler invoked for every event of *kind*."""
         self._handlers[kind] = handler
 
+    def registered_kinds(self) -> List[EventKind]:
+        """Event kinds that currently have a handler (in registration order)."""
+        return list(self._handlers)
+
     def schedule(self, time: float, kind: EventKind, **data) -> Event:
-        """Create an event at *time* and insert it into the queue."""
+        """Create an event at *time* and insert it into the queue.
+
+        Raises a :class:`SimulationError` immediately when *kind* has no
+        registered handler: failing here, with the scheduling call still on
+        the stack, is far easier to diagnose than the same failure surfacing
+        later from :meth:`run` with no hint of who produced the event.
+        """
+        if kind not in self._handlers:
+            registered = sorted(k.value for k in self.registered_kinds())
+            raise SimulationError(
+                f"cannot schedule event kind {kind.value!r}: no handler is registered "
+                f"for it (registered kinds: {registered or 'none'}); call "
+                f"engine.register({kind!s}, handler) before scheduling"
+            )
         if time < self.now - 1e-12:
             raise SimulationError(
                 f"cannot schedule an event at t={time} before the current time {self.now}"
             )
-        event = Event.make(max(time, self.now), kind, **data)
+        event = Event.make(max(time, self.now), kind, seq=next(self._sequence), **data)
         self.queue.push(event)
         return event
+
+    def cancel(self, event: Event) -> None:
+        """Revoke a previously scheduled event: it is skipped when popped.
+
+        Cancellation is by tombstone (the heap is not re-ordered); cancelled
+        events do not count towards the processed-event budget.
+        """
+        self._cancelled.add(event.seq)
 
     def run(self, until: Optional[float] = None) -> float:
         """Process events until the queue empties (or simulated *until* is reached).
@@ -81,6 +113,9 @@ class DiscreteEventEngine:
             if until is not None and self.queue.peek().time > until:
                 break
             event = self.queue.pop()
+            if event.seq in self._cancelled:
+                self._cancelled.discard(event.seq)
+                continue
             if event.time < self.now - 1e-9:
                 raise SimulationError(
                     f"event at t={event.time} is earlier than current time {self.now}"
@@ -88,7 +123,11 @@ class DiscreteEventEngine:
             self.now = max(self.now, event.time)
             handler = self._handlers.get(event.kind)
             if handler is None:
-                raise SimulationError(f"no handler registered for event kind {event.kind}")
+                registered = sorted(k.value for k in self.registered_kinds())
+                raise SimulationError(
+                    f"no handler registered for event kind {event.kind.value!r} "
+                    f"(registered kinds: {registered or 'none'})"
+                )
             handler(event)
             self.processed_events += 1
             if self.processed_events > self.max_events:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
@@ -13,7 +12,12 @@ __all__ = ["EventKind", "Event"]
 
 
 class EventKind(enum.Enum):
-    """The four kinds of events driving the master/worker simulation."""
+    """The kinds of events driving the master/worker simulation.
+
+    The first four form the paper's steady-state dispatch protocol; the last
+    four are the cluster-dynamics (fault/elasticity) events injected by
+    :mod:`repro.scenarios.dynamics`.
+    """
 
     #: A task has arrived at the master and joined the unscheduled queue.
     TASK_ARRIVAL = "task_arrival"
@@ -23,9 +27,15 @@ class EventKind(enum.Enum):
     WORKER_FETCH = "worker_fetch"
     #: A worker finished processing a task.
     TASK_COMPLETION = "task_completion"
-
-
-_sequence = itertools.count()
+    #: A worker vanishes: its in-flight task and master-side queue are
+    #: re-queued for scheduling on the surviving workers.
+    WORKER_FAILURE = "worker_failure"
+    #: A previously failed worker comes back and asks for work again.
+    WORKER_RECOVERY = "worker_recovery"
+    #: A pre-provisioned worker joins the cluster for the first time.
+    WORKER_JOIN = "worker_join"
+    #: A burst of extra tasks arrives on top of the base workload.
+    LOAD_SPIKE = "load_spike"
 
 
 @dataclass(order=True, frozen=True)
@@ -33,7 +43,10 @@ class Event:
     """A single scheduled occurrence in simulated time.
 
     Events compare by ``(time, seq)`` so simultaneous events retain their
-    insertion order, which keeps the simulation deterministic.
+    insertion order, which keeps the simulation deterministic.  Sequence
+    numbers are owned by the :class:`~repro.sim.engine.DiscreteEventEngine`
+    that created the event (one counter per engine), so tie-break ordering
+    never depends on other simulations run earlier in the same process.
     """
 
     time: float
@@ -42,11 +55,16 @@ class Event:
     data: Dict[str, Any] = field(compare=False, default_factory=dict)
 
     @classmethod
-    def make(cls, time: float, kind: EventKind, **data: Any) -> "Event":
-        """Create an event with an automatically increasing sequence number."""
+    def make(cls, time: float, kind: EventKind, *, seq: int = 0, **data: Any) -> "Event":
+        """Create an event at *time* with the given tie-break sequence number.
+
+        Callers that need deterministic ordering of simultaneous events (the
+        engine does) must pass monotonically increasing *seq* values; ad-hoc
+        callers (tests, tools) may rely on the default of 0.
+        """
         if time < 0:
             raise SimulationError(f"event time must be >= 0, got {time}")
-        return cls(time=float(time), seq=next(_sequence), kind=kind, data=dict(data))
+        return cls(time=float(time), seq=int(seq), kind=kind, data=dict(data))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Event(t={self.time:.4g}, kind={self.kind.value}, data={self.data})"

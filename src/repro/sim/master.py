@@ -15,7 +15,7 @@ The master owns:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set
 
 import numpy as np
 
@@ -26,6 +26,13 @@ from ..util.smoothing import SmoothedMap
 from ..workloads.task import Task
 
 __all__ = ["Master"]
+
+#: Context rate substituted for offline processors: small enough that every
+#: cost-aware policy avoids them, strictly positive so the context validates.
+OFFLINE_RATE = 1e-9
+#: Context pending load substituted for offline processors: large enough that
+#: load-aware policies avoid them, finite so GA fitness arithmetic stays sane.
+OFFLINE_LOAD = 1e18
 
 
 class Master:
@@ -66,6 +73,17 @@ class Master:
         self.batch_sizes: List[int] = []
         self._assigned_time: Dict[int, float] = {}
 
+        #: Processors currently out of the cluster (failed, or not yet joined).
+        self._offline: Set[int] = set()
+        #: Tasks pulled back from failed workers and re-queued for scheduling.
+        self.tasks_rescheduled = 0
+        #: Tasks electively pulled back (undispatched) on membership changes
+        #: so the policy can re-map them over a recovered/joined worker.
+        self.tasks_reclaimed = 0
+        #: Tasks a policy assigned to an offline processor that the master
+        #: diverted to the least-loaded online queue instead.
+        self.tasks_redirected = 0
+
     # -- arrivals -----------------------------------------------------------------------
     def task_arrived(self, task: Task) -> None:
         """A new task joins the unscheduled FCFS queue."""
@@ -79,6 +97,81 @@ class Master:
     def has_unscheduled(self) -> bool:
         """Whether any task is awaiting assignment."""
         return bool(self.unscheduled)
+
+    # -- cluster membership -----------------------------------------------------------
+    def is_online(self, proc: int) -> bool:
+        """Whether *proc* is currently part of the cluster."""
+        self._check_proc(proc)
+        return proc not in self._offline
+
+    def online_processors(self) -> List[int]:
+        """Ids of the processors currently online, ascending."""
+        return [p for p in range(self.n_processors) if p not in self._offline]
+
+    @property
+    def n_queued_total(self) -> int:
+        """Tasks sitting in per-processor queues (assigned, not yet dispatched)."""
+        return sum(len(q) for q in self.proc_queues)
+
+    def _drain_queue(self, proc: int) -> List[Task]:
+        """Empty *proc*'s master-side queue, releasing its pending load."""
+        drained: List[Task] = []
+        while self.proc_queues[proc]:
+            task = self.proc_queues[proc].popleft()
+            self.pending_loads[proc] = max(0.0, self.pending_loads[proc] - task.size_mflops)
+            drained.append(task)
+        return drained
+
+    def _requeue_front(self, tasks: List[Task]) -> None:
+        """Push tasks back onto the front of the unscheduled FCFS queue,
+        preserving their relative order (older tasks keep their priority)."""
+        for task in reversed(tasks):
+            self.unscheduled.appendleft(task)
+
+    def mark_offline(self, proc: int, inflight: Optional[Task] = None) -> int:
+        """Take *proc* out of the cluster and pull back all its work.
+
+        The processor's master-side queue (plus the optional in-flight task
+        the worker was executing) is drained back onto the *front* of the
+        unscheduled FCFS queue in its original relative order, so no task is
+        lost and older tasks keep their priority.  Returns how many tasks
+        were re-queued.
+        """
+        self._check_proc(proc)
+        self._offline.add(proc)
+        pulled: List[Task] = []
+        if inflight is not None:
+            self.pending_loads[proc] = max(
+                0.0, self.pending_loads[proc] - inflight.size_mflops
+            )
+            pulled.append(inflight)
+        pulled.extend(self._drain_queue(proc))
+        self._requeue_front(pulled)
+        self.tasks_rescheduled += len(pulled)
+        return len(pulled)
+
+    def mark_online(self, proc: int) -> None:
+        """Return *proc* to the cluster (after recovery or first join)."""
+        self._check_proc(proc)
+        self._offline.discard(proc)
+
+    def reclaim_undispatched(self) -> int:
+        """Pull every assigned-but-undispatched task back for re-scheduling.
+
+        Called on cluster-membership changes (a worker recovering or
+        joining): the queues live at the master precisely so work can be
+        re-mapped when the system changes, and re-invoking the policy lets it
+        spread the backlog over the new member.  In-flight tasks are
+        untouched.  Counted in ``tasks_reclaimed`` (elective re-mapping), not
+        ``tasks_rescheduled`` (failure re-queues).  Returns how many tasks
+        were pulled back.
+        """
+        pulled: List[Task] = []
+        for proc in range(self.n_processors):
+            pulled.extend(self._drain_queue(proc))
+        self._requeue_front(pulled)
+        self.tasks_reclaimed += len(pulled)
+        return len(pulled)
 
     # -- context --------------------------------------------------------------------------
     def estimated_rates(self) -> np.ndarray:
@@ -98,12 +191,26 @@ class Master:
         )
 
     def build_context(self, time: float) -> SchedulingContext:
-        """The snapshot handed to the scheduling policy (identical for all policies)."""
+        """The snapshot handed to the scheduling policy (identical for all policies).
+
+        Offline processors keep their slot in the arrays (policies such as PN
+        size their encodings to a fixed processor count) but are made
+        maximally unattractive: a vanishingly small rate and an enormous
+        pending load.  Any task a policy assigns to one anyway is diverted by
+        :meth:`run_scheduler_once`.
+        """
+        rates = self.estimated_rates()
+        loads = self.pending_loads.copy()
+        comm_costs = self.estimated_comm_costs()
+        if self._offline:
+            offline = sorted(self._offline)
+            rates[offline] = OFFLINE_RATE
+            loads[offline] = OFFLINE_LOAD
         return SchedulingContext(
             time=time,
-            rates=self.estimated_rates(),
-            pending_loads=self.pending_loads.copy(),
-            comm_costs=self.estimated_comm_costs(),
+            rates=rates,
+            pending_loads=loads,
+            comm_costs=comm_costs,
             rng=self._rng,
         )
 
@@ -112,9 +219,13 @@ class Master:
         """Run one scheduling invocation over (a batch of) the unscheduled queue.
 
         Returns the assignment produced, or ``None`` when there was nothing to
-        schedule or the policy asked for an empty batch.
+        schedule, the policy asked for an empty batch, or every worker is
+        offline (the queue is left intact until one comes back).
         """
         if not self.unscheduled:
+            return None
+        online = self.online_processors()
+        if not online:
             return None
         ctx = self.build_context(time)
         batch_size = self.scheduler.preferred_batch_size(ctx, len(self.unscheduled))
@@ -136,11 +247,23 @@ class Master:
                 f"scheduler {self.scheduler.name} assigned unknown tasks: {sorted(unknown)}"
             )
 
+        # The master refuses to enqueue work for a vanished worker: tasks a
+        # policy maps to an offline processor are diverted, in queue order, to
+        # the online queue with the shortest estimated drain time.
+        est_rates = (
+            np.maximum(self.estimated_rates(), 1e-12) if self._offline else None
+        )
         for proc in range(self.n_processors):
             for task_id in assignment.queue(proc):
                 task = by_id[task_id]
-                self.proc_queues[proc].append(task)
-                self.pending_loads[proc] += task.size_mflops
+                target = proc
+                if proc in self._offline:
+                    target = min(
+                        online, key=lambda p: (self.pending_loads[p] / est_rates[p], p)
+                    )
+                    self.tasks_redirected += 1
+                self.proc_queues[target].append(task)
+                self.pending_loads[target] += task.size_mflops
                 self._assigned_time[task_id] = time
 
         self.invocations += 1
@@ -162,9 +285,12 @@ class Master:
 
         assigned = 0
         immediate = self.scheduler.mode is SchedulerMode.IMMEDIATE
+        online = self.online_processors()
+        if not online:
+            return 0
         while self.unscheduled:
             if not immediate:
-                empty_queue_exists = any(len(q) == 0 for q in self.proc_queues)
+                empty_queue_exists = any(len(self.proc_queues[p]) == 0 for p in online)
                 if assigned > 0 and not empty_queue_exists:
                     break
             result = self.run_scheduler_once(time)

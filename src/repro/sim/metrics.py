@@ -12,14 +12,37 @@ The paper evaluates schedulers with two related metrics (Sect. 4):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..util.errors import SimulationError
 from .trace import ExecutionTrace
 
-__all__ = ["ProcessorStats", "SimulationMetrics", "compute_metrics"]
+__all__ = ["ProcessorStats", "DynamicsStats", "SimulationMetrics", "compute_metrics"]
+
+
+@dataclass(frozen=True)
+class DynamicsStats:
+    """Cluster-dynamics accounting collected by the simulator.
+
+    The fault counters (failures, recoveries, joins, re-queues, injections,
+    downtime) are zero for a static simulation, so the paper's original
+    metrics are unchanged.  ``queue_length_trajectory`` is recorded in
+    *every* run — static ones included: it samples ``(time, unscheduled,
+    queued)`` — the master's unscheduled FCFS backlog and the total of the
+    per-processor queues — at every scheduler invocation and dynamics event.
+    """
+
+    tasks_rescheduled: int = 0
+    tasks_reclaimed: int = 0
+    tasks_redirected: int = 0
+    worker_failures: int = 0
+    worker_recoveries: int = 0
+    worker_joins: int = 0
+    tasks_injected: int = 0
+    worker_downtime_seconds: float = 0.0
+    queue_length_trajectory: Tuple[Tuple[float, int, int], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -54,6 +77,8 @@ class SimulationMetrics:
     mean_response_time: float
     mean_queue_wait: float
     per_processor: List[ProcessorStats] = field(default_factory=list)
+    #: Fault-injection accounting; all-zero for static simulations.
+    dynamics: DynamicsStats = field(default_factory=DynamicsStats)
 
     @property
     def n_processors(self) -> int:
@@ -82,6 +107,14 @@ class SimulationMetrics:
         denominator = self.makespan * self.n_processors
         return self.total_idle_seconds / denominator if denominator > 0 else 0.0
 
+    @property
+    def mean_queue_length(self) -> float:
+        """Mean sampled backlog (unscheduled + queued) over the trajectory."""
+        trajectory = self.dynamics.queue_length_trajectory
+        if not trajectory:
+            return 0.0
+        return float(np.mean([unscheduled + queued for _, unscheduled, queued in trajectory]))
+
     def summary(self) -> Dict[str, float]:
         """Flat dictionary of the headline numbers (for reports and tests)."""
         return {
@@ -94,10 +127,20 @@ class SimulationMetrics:
             "communication_fraction": self.communication_fraction,
             "idle_fraction": self.idle_fraction,
             "throughput_tasks_per_second": self.throughput_tasks_per_second,
+            "tasks_rescheduled": float(self.dynamics.tasks_rescheduled),
+            "tasks_reclaimed": float(self.dynamics.tasks_reclaimed),
+            "tasks_redirected": float(self.dynamics.tasks_redirected),
+            "worker_downtime_seconds": float(self.dynamics.worker_downtime_seconds),
+            "mean_queue_length": self.mean_queue_length,
         }
 
 
-def compute_metrics(trace: ExecutionTrace, *, start_time: float = 0.0) -> SimulationMetrics:
+def compute_metrics(
+    trace: ExecutionTrace,
+    *,
+    start_time: float = 0.0,
+    dynamics: Optional[DynamicsStats] = None,
+) -> SimulationMetrics:
     """Compute the paper's metrics from an execution trace.
 
     Parameters
@@ -106,6 +149,9 @@ def compute_metrics(trace: ExecutionTrace, *, start_time: float = 0.0) -> Simula
         The per-task records collected by the simulator.
     start_time:
         Simulation time the schedule started (makespan is measured from here).
+    dynamics:
+        Optional fault-injection accounting (failures, re-queues, downtime)
+        attached verbatim to the result; defaults to all-zero stats.
     """
     records = trace.records
     if not records:
@@ -149,4 +195,5 @@ def compute_metrics(trace: ExecutionTrace, *, start_time: float = 0.0) -> Simula
         mean_response_time=float(np.mean([r.response_time for r in records])),
         mean_queue_wait=float(np.mean([r.queue_wait for r in records])),
         per_processor=per_processor,
+        dynamics=dynamics or DynamicsStats(),
     )

@@ -17,12 +17,24 @@ The dispatch protocol follows Sect. 3 of the paper:
    the policy is invoked again — this is what makes batch scheduling
    *dynamic* and lets the PN scheduler exploit the communication-cost and
    rate observations accumulated so far.
+
+Cluster dynamics (worker failure/recovery/join, load spikes) are injected by
+an optional *dynamics timeline* (see :mod:`repro.scenarios.dynamics`).  The
+simulation only requires the timeline to expose ``initially_offline()`` and
+``sim_events(next_task_id, rng)``; the handlers below enforce the
+conservation invariant that every arrived task completes exactly once:
+
+* a failing worker's in-flight task and master-side queue are re-queued at
+  the front of the unscheduled queue and the policy is re-invoked;
+* the pending completion event of the lost in-flight task is cancelled;
+* offline workers are never handed tasks, and assignments a policy maps to
+  them are diverted by the master to the least-loaded online queue.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 
 from ..cluster.cluster import Cluster
@@ -33,16 +45,35 @@ from ..workloads.task import Task, TaskSet
 from .engine import DiscreteEventEngine
 from .events import Event, EventKind
 from .master import Master
-from .metrics import SimulationMetrics, compute_metrics
+from .metrics import DynamicsStats, SimulationMetrics, compute_metrics
 from .trace import ExecutionTrace, TaskRecord
 from .worker import WorkerState
 
 __all__ = [
     "SimulationConfig",
     "SimulationResult",
+    "DynamicsTimelineLike",
     "DistributedSystemSimulation",
     "simulate_schedule",
 ]
+
+
+class DynamicsTimelineLike(Protocol):
+    """What the simulator needs from a cluster-dynamics timeline.
+
+    Implemented by :class:`repro.scenarios.dynamics.DynamicsTimeline`; kept as
+    a protocol here so the sim layer stays import-free of the scenario layer.
+    """
+
+    def initially_offline(self) -> Iterable[int]:
+        """Processor ids that start outside the cluster (join later)."""
+        ...
+
+    def sim_events(
+        self, *, next_task_id: int, rng: RNGLike = None
+    ) -> Sequence[Tuple[float, EventKind, Dict[str, Any]]]:
+        """The ``(time, kind, event data)`` triples to inject at run start."""
+        ...
 
 
 @dataclass
@@ -70,6 +101,11 @@ class SimulationResult:
     batch_sizes: List[int]
     n_tasks: int
     n_processors: int
+    #: Extra tasks injected by LOAD_SPIKE dynamics (0 for static runs);
+    #: ``n_tasks`` counts the base workload only.
+    tasks_injected: int = 0
+    #: Events the engine processed end-to-end (throughput benchmarks use this).
+    events_processed: int = 0
 
     @property
     def makespan(self) -> float:
@@ -92,6 +128,7 @@ class DistributedSystemSimulation:
         tasks: TaskSet,
         *,
         config: Optional[SimulationConfig] = None,
+        dynamics: Optional[DynamicsTimelineLike] = None,
         rng: RNGLike = None,
     ):
         if len(tasks) == 0:
@@ -100,8 +137,14 @@ class DistributedSystemSimulation:
         self.cluster = cluster
         self.tasks = tasks
         self.config = config or SimulationConfig()
-        master_rng, network_rng = spawn_rngs(rng, 2)
+        # The third child stream feeds the dynamics timeline (e.g. load-spike
+        # task sizes).  SeedSequence children are prefix-stable, so streams 0
+        # and 1 are identical to the historical two-stream spawn and static
+        # simulations stay bit-identical to earlier releases.
+        master_rng, network_rng, dynamics_rng = spawn_rngs(rng, 3)
         self._network_rng = network_rng
+        self._dynamics_rng = dynamics_rng
+        self._dynamics = dynamics
 
         self.engine = DiscreteEventEngine(max_events=self.config.max_events)
         self.master = Master(
@@ -116,11 +159,31 @@ class DistributedSystemSimulation:
         self.trace = ExecutionTrace(cluster.n_processors)
         self._completed = 0
         self._scheduler_invocation_pending = False
+        self._completion_events: Dict[int, Event] = {}
+        self._queue_samples: List[Tuple[float, int, int]] = []
+        self._counts = {"failures": 0, "recoveries": 0, "joins": 0}
+        self._injected = 0
 
         self.engine.register(EventKind.TASK_ARRIVAL, self._on_task_arrival)
         self.engine.register(EventKind.INVOKE_SCHEDULER, self._on_invoke_scheduler)
         self.engine.register(EventKind.WORKER_FETCH, self._on_worker_fetch)
         self.engine.register(EventKind.TASK_COMPLETION, self._on_task_completion)
+        if dynamics is not None:
+            self.engine.register(EventKind.WORKER_FAILURE, self._on_worker_failure)
+            self.engine.register(EventKind.WORKER_RECOVERY, self._on_worker_recovery)
+            self.engine.register(EventKind.WORKER_JOIN, self._on_worker_join)
+            self.engine.register(EventKind.LOAD_SPIKE, self._on_load_spike)
+            for proc in dynamics.initially_offline():
+                proc = int(proc)
+                if not (0 <= proc < cluster.n_processors):
+                    raise SimulationError(
+                        f"dynamics timeline references processor {proc} outside "
+                        f"[0, {cluster.n_processors})"
+                    )
+                # Not-yet-joined workers are offline from the start but accrue
+                # no downtime (they were never part of the cluster).
+                self.workers[proc].online = False
+                self.master.mark_offline(proc)
 
     # -- event handlers ---------------------------------------------------------------
     def _on_task_arrival(self, event: Event) -> None:
@@ -133,19 +196,31 @@ class DistributedSystemSimulation:
             self._scheduler_invocation_pending = True
             self.engine.schedule(time, EventKind.INVOKE_SCHEDULER)
 
+    def _sample_queues(self, time: float) -> None:
+        self._queue_samples.append(
+            (float(time), self.master.n_unscheduled, self.master.n_queued_total)
+        )
+
     def _on_invoke_scheduler(self, event: Event) -> None:
         self._scheduler_invocation_pending = False
+        self._sample_queues(event.time)
         assigned = self.master.schedule_all_available(event.time)
         if assigned == 0:
             return
-        # Wake every idle worker whose queue now has work.
+        # Wake every idle online worker whose queue now has work.
         for worker in self.workers:
-            if not worker.is_busy and self.master.queue_length(worker.proc_id) > 0:
+            if (
+                worker.online
+                and not worker.is_busy
+                and self.master.queue_length(worker.proc_id) > 0
+            ):
                 self.engine.schedule(event.time, EventKind.WORKER_FETCH, proc=worker.proc_id)
 
     def _on_worker_fetch(self, event: Event) -> None:
         proc = int(event.data["proc"])
         worker = self.workers[proc]
+        if not worker.online:
+            return  # stale wake-up for a worker that failed in the meantime
         if worker.is_busy:
             return  # stale wake-up: the worker already fetched something
         task = self.master.pop_task_for(proc)
@@ -157,7 +232,7 @@ class DistributedSystemSimulation:
         comm_cost = self.cluster.network.sample_cost(proc, self._network_rng, time=event.time)
         completion_time = worker.start_task(task, event.time, comm_cost)
         self.master.observe_dispatch(proc, comm_cost, event.time)
-        self.engine.schedule(
+        self._completion_events[proc] = self.engine.schedule(
             completion_time,
             EventKind.TASK_COMPLETION,
             proc=proc,
@@ -173,6 +248,7 @@ class DistributedSystemSimulation:
         comm_cost: float = event.data["comm_cost"]
         worker = self.workers[proc]
         worker.finish_task(event.time)
+        self._completion_events.pop(proc, None)
 
         exec_start = dispatch_time + comm_cost
         exec_seconds = event.time - exec_start
@@ -194,19 +270,94 @@ class DistributedSystemSimulation:
         # Fetch the next task (or trigger another scheduling round).
         self.engine.schedule(event.time, EventKind.WORKER_FETCH, proc=proc)
 
+    # -- dynamics handlers ------------------------------------------------------------
+    def _on_worker_failure(self, event: Event) -> None:
+        proc = int(event.data["proc"])
+        worker = self.workers[proc]
+        if not worker.online:
+            return  # duplicate failure of an already offline worker: no-op
+        inflight = worker.fail(event.time)
+        pending = self._completion_events.pop(proc, None)
+        if pending is not None:
+            self.engine.cancel(pending)
+        requeued = self.master.mark_offline(proc, inflight)
+        self._counts["failures"] += 1
+        self._sample_queues(event.time)
+        if requeued and self.master.online_processors():
+            self._request_scheduling(event.time)
+
+    def _come_online(self, proc: int, time: float) -> None:
+        worker = self.workers[proc]
+        if worker.online:
+            return  # duplicate recovery/join: no-op
+        worker.come_online(time)
+        self.master.mark_online(proc)
+        # Membership changed: pull back every undispatched task and re-invoke
+        # the policy so it can spread the backlog over the new member (the
+        # per-processor queues live at the master precisely to allow this).
+        self.master.reclaim_undispatched()
+        self._sample_queues(time)
+        if self.master.has_unscheduled():
+            self._request_scheduling(time)
+
+    def _on_worker_recovery(self, event: Event) -> None:
+        proc = int(event.data["proc"])
+        if not self.workers[proc].online:
+            self._counts["recoveries"] += 1
+        self._come_online(proc, event.time)
+
+    def _on_worker_join(self, event: Event) -> None:
+        proc = int(event.data["proc"])
+        if not self.workers[proc].online:
+            self._counts["joins"] += 1
+        self._come_online(proc, event.time)
+
+    def _on_load_spike(self, event: Event) -> None:
+        tasks: Sequence[Task] = event.data["tasks"]
+        # Counted here (not at schedule time) so a time_horizon that cuts the
+        # run short never claims injections that were never delivered.
+        self._injected += len(tasks)
+        for task in tasks:
+            self.master.task_arrived(task)
+        self._sample_queues(event.time)
+        if tasks:
+            self._request_scheduling(event.time)
+
     # -- run -------------------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute the simulation to completion and return metrics plus trace."""
         self.scheduler.reset()
         for task in self.tasks:
             self.engine.schedule(task.arrival_time, EventKind.TASK_ARRIVAL, task=task)
+        if self._dynamics is not None:
+            next_task_id = max(task.task_id for task in self.tasks) + 1
+            for time, kind, data in self._dynamics.sim_events(
+                next_task_id=next_task_id, rng=self._dynamics_rng
+            ):
+                self.engine.schedule(time, kind, **data)
         self.engine.run(until=self.config.time_horizon)
 
-        if self.config.time_horizon is None and self._completed != len(self.tasks):
+        expected = len(self.tasks) + self._injected
+        if self.config.time_horizon is None and self._completed != expected:
             raise SimulationError(
-                f"simulation finished with {self._completed}/{len(self.tasks)} tasks completed"
+                f"simulation finished with {self._completed}/{expected} tasks completed"
             )
-        metrics = compute_metrics(self.trace)
+        for worker in self.workers:
+            worker.finalise_downtime(self.engine.now)
+        dynamics_stats = DynamicsStats(
+            tasks_rescheduled=self.master.tasks_rescheduled,
+            tasks_reclaimed=self.master.tasks_reclaimed,
+            tasks_redirected=self.master.tasks_redirected,
+            worker_failures=self._counts["failures"],
+            worker_recoveries=self._counts["recoveries"],
+            worker_joins=self._counts["joins"],
+            tasks_injected=self._injected,
+            worker_downtime_seconds=float(
+                sum(worker.downtime_seconds for worker in self.workers)
+            ),
+            queue_length_trajectory=tuple(self._queue_samples),
+        )
+        metrics = compute_metrics(self.trace, dynamics=dynamics_stats)
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             metrics=metrics,
@@ -215,6 +366,8 @@ class DistributedSystemSimulation:
             batch_sizes=list(self.master.batch_sizes),
             n_tasks=len(self.tasks),
             n_processors=self.cluster.n_processors,
+            tasks_injected=self._injected,
+            events_processed=self.engine.processed_events,
         )
 
 
@@ -224,8 +377,11 @@ def simulate_schedule(
     tasks: TaskSet,
     *,
     config: Optional[SimulationConfig] = None,
+    dynamics: Optional[DynamicsTimelineLike] = None,
     rng: RNGLike = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a :class:`DistributedSystemSimulation` and run it."""
-    simulation = DistributedSystemSimulation(scheduler, cluster, tasks, config=config, rng=rng)
+    simulation = DistributedSystemSimulation(
+        scheduler, cluster, tasks, config=config, dynamics=dynamics, rng=rng
+    )
     return simulation.run()

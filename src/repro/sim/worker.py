@@ -21,7 +21,14 @@ __all__ = ["WorkerState"]
 
 @dataclass
 class WorkerState:
-    """Dynamic state of one worker during a simulation."""
+    """Dynamic state of one worker during a simulation.
+
+    ``online`` tracks cluster membership: a failed worker (or a
+    pre-provisioned worker that has not joined yet) is offline and must not
+    be handed tasks.  ``offline_since`` is set only by :meth:`fail`, so
+    downtime accounts for failure outages but not for the pre-join phase of
+    elastic workers (which were never part of the cluster to begin with).
+    """
 
     processor: Processor
     busy_until: float = 0.0
@@ -29,6 +36,10 @@ class WorkerState:
     tasks_completed: int = 0
     busy_seconds: float = 0.0
     comm_seconds: float = 0.0
+    online: bool = True
+    offline_since: Optional[float] = None
+    failures: int = 0
+    downtime_seconds: float = 0.0
 
     @property
     def proc_id(self) -> int:
@@ -40,6 +51,38 @@ class WorkerState:
         """Whether the worker is currently receiving or executing a task."""
         return self.current_task is not None
 
+    def fail(self, now: float) -> Optional[Task]:
+        """Take the worker offline at time *now*.
+
+        Returns the in-flight task (for the master to re-queue), or ``None``
+        when the worker was idle.  The partially executed work is lost: it is
+        neither recorded as busy time nor counted as a completion.
+        """
+        if not self.online:
+            raise SimulationError(f"worker {self.proc_id} cannot fail while already offline")
+        task = self.current_task
+        self.current_task = None
+        self.online = False
+        self.offline_since = now
+        self.failures += 1
+        return task
+
+    def come_online(self, now: float) -> None:
+        """Bring the worker (back) online at time *now* (recovery or join)."""
+        if self.online:
+            raise SimulationError(f"worker {self.proc_id} is already online")
+        if self.offline_since is not None:
+            self.downtime_seconds += max(0.0, now - self.offline_since)
+            self.offline_since = None
+        self.online = True
+        self.busy_until = now
+
+    def finalise_downtime(self, now: float) -> None:
+        """Close the books on a worker still offline when the simulation ends."""
+        if not self.online and self.offline_since is not None:
+            self.downtime_seconds += max(0.0, now - self.offline_since)
+            self.offline_since = now
+
     def start_task(self, task: Task, now: float, comm_cost: float) -> float:
         """Begin receiving and executing *task* at time *now*.
 
@@ -47,6 +90,10 @@ class WorkerState:
         effective rate at the moment execution starts (after the communication
         delay), which is how availability variation feeds into task durations.
         """
+        if not self.online:
+            raise SimulationError(
+                f"worker {self.proc_id} asked to start task {task.task_id} while offline"
+            )
         if self.is_busy:
             raise SimulationError(
                 f"worker {self.proc_id} asked to start task {task.task_id} while busy "

@@ -68,3 +68,77 @@ class TestMain:
         assert main(["fig4", "--scale", "smoke", "--seed", "2"]) == 0
         out = capsys.readouterr().out
         assert "rebalances_per_generation" in out
+
+
+class TestScenariosCLI:
+    def test_scenarios_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios"])
+
+    def test_scenarios_run_parses_options(self):
+        args = build_parser().parse_args(
+            [
+                "scenarios",
+                "run",
+                "failure-storm",
+                "elastic-scale-out",
+                "--scale",
+                "smoke",
+                "--seed",
+                "3",
+                "--jobs",
+                "2",
+                "--repeats",
+                "4",
+                "--schedulers",
+                "EF",
+                "LL",
+            ]
+        )
+        assert args.command == "scenarios"
+        assert args.scenario_command == "run"
+        assert args.names == ["failure-storm", "elastic-scale-out"]
+        assert args.repeats == 4
+        assert args.schedulers == ["EF", "LL"]
+
+    def test_scenarios_unknown_scheduler_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["scenarios", "run", "failure-storm", "--schedulers", "nope"]
+            )
+
+    def test_scenarios_list_smoke(self, capsys):
+        assert main(["scenarios", "list", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "failure-storm" in out
+        assert "elastic-scale-out" in out
+        assert "load spike" in out
+
+    def test_scenarios_run_smoke_with_output(self, capsys, tmp_path):
+        output = tmp_path / "matrix.json"
+        code = main(
+            [
+                "scenarios",
+                "run",
+                "failure-storm",
+                "--scale",
+                "smoke",
+                "--seed",
+                "7",
+                "--repeats",
+                "1",
+                "--schedulers",
+                "EF",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failure-storm" in out and "conserved" in out
+        assert output.exists()
+
+    def test_scenarios_run_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["scenarios", "run", "no-such-thing", "--scale", "smoke"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err

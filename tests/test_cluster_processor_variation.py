@@ -162,3 +162,74 @@ class TestProcessor:
             availability=SinusoidalAvailability(base=0.5, amplitude=0.3, period=100.0),
         )
         assert 20.0 < proc.mean_rate(horizon=1000.0) < 80.0
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis properties: every availability model stays clamped to
+# [MIN_AVAILABILITY, 1], and lazily drawn models are re-evaluation
+# deterministic (the same time always yields the same value).
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+# Bounded so lazily drawn models extend at most a few hundred buckets per
+# query (times up to 1e6 would make every example extend ~40k buckets).
+times = st.floats(min_value=0.0, max_value=2e3, allow_nan=False, allow_infinity=False)
+
+
+def _models(seed: int):
+    """One instance of every availability family, some deliberately extreme."""
+    return [
+        ConstantAvailability(0.5),
+        SinusoidalAvailability(base=0.5, amplitude=3.0, period=120.0, phase=1.0),
+        StepAvailability([(0.0, 1.0), (50.0, 0.01), (200.0, 0.7)]),
+        RandomWalkAvailability(base=0.6, sigma=0.5, step=25.0, seed=seed),
+        TraceAvailability([0.0, 10.0, 30.0], [0.9, 0.0, 0.4]),
+    ]
+
+
+class TestAvailabilityClampProperty:
+    @given(time=times, seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_every_model_stays_in_bounds(self, time, seed):
+        for model in _models(seed):
+            value = model.availability(time)
+            assert MIN_AVAILABILITY <= value <= 1.0, (model, time, value)
+
+
+class TestLazyDrawDeterminism:
+    @given(
+        query_times=st.lists(times, min_size=1, max_size=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_walk_reevaluation_identical(self, query_times, seed):
+        model = RandomWalkAvailability(base=0.7, sigma=0.1, step=10.0, seed=seed)
+        first = [model.availability(t) for t in query_times]
+        # Re-query in reverse (and again in order): lazily drawn buckets must
+        # return exactly the values they returned the first time.
+        second = [model.availability(t) for t in reversed(query_times)]
+        assert first == [model.availability(t) for t in query_times]
+        assert second == list(reversed(first))
+
+    @given(
+        query_times=st.lists(times, min_size=1, max_size=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_random_walk_independent_instances_agree(self, query_times, seed):
+        # Two instances with the same seed must agree even when queried in
+        # different orders (trajectory extension is order-independent).
+        a = RandomWalkAvailability(base=0.7, sigma=0.1, step=10.0, seed=seed)
+        b = RandomWalkAvailability(base=0.7, sigma=0.1, step=10.0, seed=seed)
+        values_a = [a.availability(t) for t in query_times]
+        values_b = [b.availability(t) for t in reversed(query_times)]
+        assert values_a == list(reversed(values_b))
+
+    @given(query_times=st.lists(times, min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_trace_reevaluation_identical(self, query_times):
+        model = TraceAvailability([0.0, 5.0, 50.0, 500.0], [0.8, 0.3, 1.0, 0.6])
+        first = [model.availability(t) for t in query_times]
+        assert first == [model.availability(t) for t in query_times]

@@ -1,0 +1,143 @@
+"""Tests for the sharded scenario-matrix runner and its persistence/report."""
+
+import json
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.experiments.reporting import scenario_matrix_table
+from repro.io.results import (
+    load_scenario_matrix_json,
+    save_scenario_matrix_json,
+    scenario_matrix_to_csv,
+    scenario_matrix_to_dict,
+)
+from repro.parallel import ParallelExecutor
+from repro.scenarios import (
+    ScenarioCell,
+    get_scenario,
+    run_scenario_cell,
+    run_scenario_matrix,
+)
+from repro.util.errors import ConfigurationError
+
+SMOKE = get_scale("smoke")
+
+
+def small_matrix(**overrides):
+    kwargs = dict(
+        scale=SMOKE,
+        schedulers=["EF", "LL"],
+        repeats=2,
+        seed=11,
+    )
+    kwargs.update(overrides)
+    return run_scenario_matrix(["failure-storm", "elastic-scale-out"], **kwargs)
+
+
+class TestCellDeterminism:
+    def test_same_cell_twice_is_identical(self):
+        cell = ScenarioCell(
+            spec=get_scenario("failure-storm", SMOKE),
+            scheduler="EF",
+            repeat=0,
+            seed_entropy=42,
+            batch_size=SMOKE.batch_size,
+            max_generations=SMOKE.max_generations,
+        )
+        assert run_scenario_cell(cell) == run_scenario_cell(cell)
+
+
+class TestMatrixRunner:
+    def test_matrix_shape_and_aggregates(self):
+        result = small_matrix()
+        assert result.scenarios == ["failure-storm", "elastic-scale-out"]
+        assert result.schedulers == ["EF", "LL"]
+        assert result.repeats == 2
+        assert len(result.outcomes) == 2 * 2 * 2
+        agg = result.aggregate("failure-storm", "EF")
+        assert agg.repeats == 2
+        assert agg.makespan.mean > 0
+
+    def test_conservation_holds_across_matrix(self):
+        result = small_matrix()
+        assert result.conservation_ok()
+
+    def test_serial_and_parallel_runs_bit_identical(self):
+        serial = small_matrix()
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = small_matrix(executor=executor)
+        assert serial.signature() == parallel.signature()
+        assert parallel.executor.startswith("process[2]")
+
+    def test_seed_changes_results(self):
+        a = small_matrix(seed=1)
+        b = small_matrix(seed=2)
+        assert a.signature() != b.signature()
+
+    def test_scheduler_default_comes_from_spec(self):
+        spec = get_scenario("steady-state", SMOKE).with_schedulers(("RR",))
+        result = run_scenario_matrix([spec], scale=SMOKE, repeats=1, seed=5)
+        assert result.schedulers == ["RR"]
+
+    def test_best_by_makespan(self):
+        result = small_matrix()
+        assert result.best_by_makespan("failure-storm") in {"EF", "LL"}
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario_matrix([], scale=SMOKE, seed=1)
+
+    def test_duplicate_scenarios_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            run_scenario_matrix(
+                ["steady-state", "steady-state"], scale=SMOKE, seed=1
+            )
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_matrix(repeats=0)
+
+    def test_duplicate_scheduler_names_deduplicated(self):
+        # `--schedulers EF EF` must not silently double EF's repeat count.
+        once = small_matrix(schedulers=["EF"], repeats=2)
+        twice = small_matrix(schedulers=["EF", "EF"], repeats=2)
+        assert twice.aggregate("failure-storm", "EF").repeats == 2
+        assert once.signature() == twice.signature()
+
+
+class TestPersistenceAndReport:
+    def test_table_lists_every_pair(self):
+        result = small_matrix()
+        table = scenario_matrix_table(result)
+        for scenario in result.scenarios:
+            assert scenario in table
+        assert "conserved" in table
+
+    def test_json_round_trip(self, tmp_path):
+        result = small_matrix()
+        path = save_scenario_matrix_json(result, tmp_path / "matrix.json")
+        payload = load_scenario_matrix_json(path)
+        assert payload["aggregates"] == json.loads(
+            json.dumps(result.signature())
+        )
+        assert payload["conservation_ok"] is True
+        assert payload["scale"] == "smoke"
+
+    def test_load_rejects_foreign_payload(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format_version": 1, "kind": "figure"}))
+        with pytest.raises(ConfigurationError, match="not a scenario matrix"):
+            load_scenario_matrix_json(path)
+
+    def test_dict_payload_is_executor_tagged(self):
+        result = small_matrix()
+        payload = scenario_matrix_to_dict(result)
+        assert payload["executor"] == "serial"
+        assert payload["kind"] == "scenario_matrix"
+
+    def test_csv_has_row_per_pair(self):
+        result = small_matrix()
+        lines = scenario_matrix_to_csv(result).strip().splitlines()
+        assert len(lines) == 1 + len(result.scenarios) * len(result.schedulers)
+        assert lines[0].startswith("scenario,scheduler,makespan_mean")

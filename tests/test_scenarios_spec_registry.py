@@ -1,0 +1,190 @@
+"""Tests for scenario specifications and the named scenario library."""
+
+import pickle
+
+import pytest
+
+from repro.experiments.config import get_scale
+from repro.scenarios import (
+    ClusterSpec,
+    ScenarioSpec,
+    WorkerFailure,
+    WorkerJoin,
+    get_scenario,
+    make_all_scenarios,
+    run_scenario_cell,
+    scenario_names,
+)
+from repro.scenarios.runner import ScenarioCell
+from repro.util.errors import ConfigurationError
+from repro.workloads import normal_paper_workload
+
+SMOKE = get_scale("smoke")
+
+
+class TestClusterSpec:
+    def test_kinds_build(self):
+        for kind in ("homogeneous", "heterogeneous", "varying", "straggler"):
+            cluster = ClusterSpec(n_processors=4, kind=kind).build(rng=1)
+            assert cluster.n_processors == 4
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_processors=4, kind="quantum")
+
+    def test_reserve_processors_extend_cluster(self):
+        spec = ClusterSpec(n_processors=3, reserve_processors=2)
+        assert spec.total_processors == 5
+        assert spec.build(rng=1).n_processors == 5
+
+    def test_straggler_node_is_slow(self):
+        cluster = ClusterSpec(
+            n_processors=4, kind="straggler", straggler_level=0.15
+        ).build(rng=1)
+        straggler = cluster[0]
+        assert straggler.current_rate(0.0) == pytest.approx(
+            0.15 * straggler.peak_rate_mflops
+        )
+
+    def test_build_deterministic_for_seed(self):
+        spec = ClusterSpec(n_processors=5)
+        a = spec.build(rng=7)
+        b = spec.build(rng=7)
+        assert (a.peak_rates() == b.peak_rates()).all()
+
+    def test_negative_comm_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(n_processors=2, mean_comm_cost=-1.0)
+
+
+class TestScenarioSpec:
+    def make(self, **overrides):
+        base = dict(
+            name="test",
+            description="a test scenario",
+            cluster=ClusterSpec(n_processors=3),
+            workload=normal_paper_workload(20),
+        )
+        base.update(overrides)
+        return ScenarioSpec(**base)
+
+    def test_valid_spec_builds(self):
+        spec = self.make()
+        assert spec.n_tasks_expected == 20
+        assert spec.timeline() is not None
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown schedulers"):
+            self.make(schedulers=("EF", "XX"))
+
+    def test_dynamics_beyond_cluster_rejected(self):
+        with pytest.raises(ConfigurationError, match="only has"):
+            self.make(dynamics=(WorkerFailure(1.0, proc=7),))
+
+    def test_reserve_without_join_rejected(self):
+        with pytest.raises(ConfigurationError, match="never join"):
+            self.make(cluster=ClusterSpec(n_processors=3, reserve_processors=1))
+
+    def test_reserve_with_join_accepted(self):
+        spec = self.make(
+            cluster=ClusterSpec(n_processors=3, reserve_processors=1),
+            dynamics=(WorkerJoin(2.0, proc=3),),
+        )
+        assert spec.cluster.total_processors == 4
+
+    def test_join_of_base_worker_rejected(self):
+        # A join for a base worker would silently bench it until the join
+        # time — almost certainly not what the spec author meant.
+        with pytest.raises(ConfigurationError, match="base processors"):
+            self.make(dynamics=(WorkerJoin(2.0, proc=0),))
+
+    def test_with_schedulers_restricts(self):
+        spec = self.make().with_schedulers(("EF", "LL"))
+        assert spec.schedulers == ("EF", "LL")
+
+    def test_specs_are_picklable(self):
+        spec = get_scenario("heavy-tail-mix", SMOKE)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.name == spec.name
+        # Size distributions compare by identity, so check shape not equality.
+        assert [(type(a), a.time) for a in clone.dynamics] == [
+            (type(a), a.time) for a in spec.dynamics
+        ]
+
+    def test_describe_is_json_friendly(self):
+        import json
+
+        payload = self.make().describe()
+        assert json.dumps(payload)
+
+
+class TestRegistry:
+    def test_library_has_at_least_eight_scenarios(self):
+        assert len(scenario_names()) >= 8
+
+    def test_expected_names_present(self):
+        names = scenario_names()
+        for expected in (
+            "steady-state",
+            "diurnal-load",
+            "flash-crowd",
+            "failure-storm",
+            "rolling-restart",
+            "elastic-scale-out",
+            "straggler-node",
+            "heavy-tail-mix",
+        ):
+            assert expected in names
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            get_scenario("does-not-exist", SMOKE)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_scenario("Failure-Storm", SMOKE).name == "failure-storm"
+
+    def test_every_scenario_builds_at_every_scale(self):
+        for scale_name in ("smoke", "small"):
+            scale = get_scale(scale_name)
+            for name, spec in make_all_scenarios(scale).items():
+                assert spec.name == name
+                assert spec.cluster.total_processors == scale.n_processors
+                assert spec.n_tasks_expected >= scale.n_tasks
+
+    def test_rolling_restart_keeps_at_most_two_workers_down(self):
+        from repro.scenarios import WorkerFailure as Failure
+        from repro.scenarios import WorkerRecovery as Recovery
+
+        for scale_name in ("smoke", "small", "medium", "paper"):
+            spec = get_scenario("rolling-restart", get_scale(scale_name))
+            deltas = []
+            for action in spec.dynamics:
+                if isinstance(action, Failure):
+                    deltas.append((action.time, 1))
+                elif isinstance(action, Recovery):
+                    deltas.append((action.time, -1))
+            down = peak = 0
+            # Recoveries at the same instant as a failure resolve first.
+            for _, delta in sorted(deltas, key=lambda d: (d[0], d[1])):
+                down += delta
+                peak = max(peak, down)
+            assert peak <= 2, f"{scale_name}: {peak} workers down at once"
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_scenario_smoke_runs_with_conservation(self, name):
+        # One cheap-scheduler repeat per scenario: the library must be
+        # runnable end-to-end and must never lose or duplicate a task.
+        spec = get_scenario(name, SMOKE)
+        outcome = run_scenario_cell(
+            ScenarioCell(
+                spec=spec,
+                scheduler="LL",
+                repeat=0,
+                seed_entropy=123456789,
+                batch_size=SMOKE.batch_size,
+                max_generations=SMOKE.max_generations,
+            )
+        )
+        assert outcome.conservation_ok
+        assert outcome.tasks_completed == spec.n_tasks_expected
+        assert outcome.makespan > 0

@@ -22,13 +22,13 @@ class TestEventQueue:
         q.push(Event.make(3.0, EventKind.TASK_ARRIVAL))
         assert [q.pop().time for _ in range(3)] == [1.0, 3.0, 5.0]
 
-    def test_ties_broken_by_insertion_order(self):
+    def test_ties_broken_by_sequence_number(self):
         q = EventQueue()
-        first = Event.make(1.0, EventKind.WORKER_FETCH, proc=0)
-        second = Event.make(1.0, EventKind.WORKER_FETCH, proc=1)
+        first = Event.make(1.0, EventKind.WORKER_FETCH, seq=0, proc=0)
+        second = Event.make(1.0, EventKind.WORKER_FETCH, seq=1, proc=1)
         q.push(second)
         q.push(first)
-        # insertion sequence numbers, not push order, decide: first was created first
+        # sequence numbers, not push order, decide: first was created first
         assert q.pop().data["proc"] == 0
 
     def test_peek_does_not_remove(self):
@@ -80,11 +80,36 @@ class TestDiscreteEventEngine:
         with pytest.raises(SimulationError):
             engine.schedule(1.0, EventKind.TASK_ARRIVAL)
 
-    def test_missing_handler_raises(self):
+    def test_scheduling_without_handler_raises_immediately(self):
         engine = DiscreteEventEngine()
-        engine.schedule(1.0, EventKind.TASK_ARRIVAL)
-        with pytest.raises(SimulationError):
-            engine.run()
+        with pytest.raises(SimulationError, match="no handler is registered"):
+            engine.schedule(1.0, EventKind.TASK_ARRIVAL)
+
+    def test_missing_handler_error_names_registered_kinds(self):
+        engine = DiscreteEventEngine()
+        engine.register(EventKind.TASK_ARRIVAL, lambda e: None)
+        with pytest.raises(SimulationError, match="task_arrival"):
+            engine.schedule(1.0, EventKind.WORKER_FAILURE)
+
+    def test_sequence_numbers_are_per_engine(self):
+        # Event seq counters must not leak across simulations in one process:
+        # a fresh engine always starts numbering at zero.
+        for _ in range(2):
+            engine = DiscreteEventEngine()
+            engine.register(EventKind.TASK_ARRIVAL, lambda e: None)
+            event = engine.schedule(1.0, EventKind.TASK_ARRIVAL)
+            assert event.seq == 0
+
+    def test_cancelled_events_are_skipped(self):
+        engine = DiscreteEventEngine()
+        seen = []
+        engine.register(EventKind.TASK_ARRIVAL, lambda e: seen.append(e.time))
+        keep = engine.schedule(1.0, EventKind.TASK_ARRIVAL)
+        drop = engine.schedule(2.0, EventKind.TASK_ARRIVAL)
+        engine.cancel(drop)
+        engine.run()
+        assert seen == [keep.time]
+        assert engine.processed_events == 1
 
     def test_event_budget_guards_against_storms(self):
         engine = DiscreteEventEngine(max_events=10)
