@@ -1,0 +1,317 @@
+#!/usr/bin/env python3
+"""Benchmark: event-driven engine vs batched static replay, in sims/second.
+
+Times the same seeded static simulation under both simulation backends
+(``sim_backend="event"`` pumps the discrete-event engine per event,
+``sim_backend="fast"`` uses :mod:`repro.sim.fastpath`'s batched static
+replay) and reports simulations/second per backend, the fast/event speedup,
+and the event engine's events/second.  Before any timing it asserts the two
+backends are *bit-identical* on makespan, efficiency, response times and the
+full execution trace — the replay is only a win because it changes nothing.
+
+Each scale times three cells of the paper's evaluation:
+
+* ``protocol`` — the paper's dynamic batch dispatch protocol: MM with the
+  scale's fixed batch size, so scheduling waves interleave with execution
+  and the replay's live merge phase is exercised;
+* ``replay`` — one scheduling wave over the whole workload (batch size =
+  task count): the pure static-replay shape the fast backend batches
+  end-to-end, and the number the ≥3x target applies to;
+* ``immediate`` — the EF immediate-mode baseline (one policy invocation per
+  task), the scheduling-bound worst case for backend speedups.
+
+Two preset sizes are built in: ``smoke`` (CI-sized) and ``paper`` (the
+publication's 10,000-task, 50-processor makespan experiments).
+
+Record mode (the default) writes a BENCH json record::
+
+    PYTHONPATH=src python benchmarks/sim_core_speed.py \
+        --scale all --output benchmarks/BENCH_sim_core.json
+
+Check mode re-measures the requested scale and gates against the committed
+record (used by the CI ``sim-core`` job)::
+
+    PYTHONPATH=src python benchmarks/sim_core_speed.py --scale smoke --check
+
+The gate compares *speedups* (fast over event sims/sec), which are stable
+across machines where absolute rates are not.  It fails when any cell's
+fast backend falls behind the event backend (speedup < 1), when the
+``replay`` cell regresses more than ``--tolerance`` below the committed
+record, or — at paper scale — when the ``replay`` speedup drops below the
+3x floor the sim-core work targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.cluster.topology import heterogeneous_cluster
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulation import SimulationConfig, simulate_schedule
+from repro.workloads.generator import generate_workload
+from repro.workloads.suites import workload_by_name
+
+DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_sim_core.json")
+#: Minimum fast/event speedup of the ``replay`` cell at paper scale.
+PAPER_REPLAY_FLOOR = 3.0
+
+
+@dataclass(frozen=True)
+class SimScale:
+    """One benchmark problem size."""
+
+    name: str
+    n_tasks: int
+    n_processors: int
+    batch_size: int
+    mean_comm_cost: float
+
+
+SCALES: Dict[str, SimScale] = {
+    "smoke": SimScale(
+        name="smoke", n_tasks=600, n_processors=10, batch_size=120, mean_comm_cost=5.0
+    ),
+    "paper": SimScale(
+        name="paper", n_tasks=10000, n_processors=50, batch_size=200, mean_comm_cost=20.0
+    ),
+}
+
+#: The three timed cells: (cell name, scheduler, batch size resolver).
+CELLS = (
+    ("protocol", "MM", lambda scale: scale.batch_size),
+    ("replay", "MM", lambda scale: scale.n_tasks),
+    ("immediate", "EF", lambda scale: scale.batch_size),
+)
+
+
+def build_inputs(scale: SimScale, seed: int):
+    """The workload and cluster shared by every cell of one scale."""
+    tasks = generate_workload(
+        workload_by_name("normal", scale.n_tasks), np.random.default_rng(seed)
+    )
+    cluster = heterogeneous_cluster(
+        scale.n_processors,
+        mean_comm_cost=scale.mean_comm_cost,
+        rng=np.random.default_rng(seed + 1),
+    )
+    return tasks, cluster
+
+
+def run_once(scale: SimScale, scheduler_name: str, batch_size: int, backend: str, seed: int):
+    tasks, cluster = build_inputs(scale, seed)
+    scheduler = make_scheduler(
+        scheduler_name,
+        n_processors=scale.n_processors,
+        batch_size=batch_size,
+        max_generations=10,
+        rng=seed + 2,
+    )
+    start = time.perf_counter()
+    result = simulate_schedule(
+        scheduler,
+        cluster,
+        tasks,
+        config=SimulationConfig(sim_backend=backend),
+        rng=seed + 3,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def result_digest(result) -> str:
+    """Digest of every trace-visible number (for the backend-parity check)."""
+    h = hashlib.sha256()
+    trace = result.trace
+    for name in (
+        "task_id",
+        "proc_id",
+        "size_mflops",
+        "arrival_time",
+        "assigned_time",
+        "dispatch_time",
+        "exec_start",
+        "exec_end",
+    ):
+        h.update(trace.column(name).tobytes())
+    h.update(repr((result.makespan, result.efficiency)).encode())
+    h.update(repr(result.metrics.mean_response_time).encode())
+    h.update(repr(result.scheduler_invocations).encode())
+    h.update(repr(result.events_processed).encode())
+    return h.hexdigest()
+
+
+def assert_backend_parity(scale: SimScale, seed: int) -> None:
+    """Fail loudly if the two backends ever diverge on this scale's cells."""
+    for cell, scheduler_name, batch_of in CELLS:
+        event_result, _ = run_once(scale, scheduler_name, batch_of(scale), "event", seed)
+        fast_result, _ = run_once(scale, scheduler_name, batch_of(scale), "fast", seed)
+        if result_digest(event_result) != result_digest(fast_result):
+            raise SystemExit(
+                f"backend parity violated on scale={scale.name} cell={cell}: "
+                "event and fast simulation results differ"
+            )
+
+
+def measure_cell(scale: SimScale, scheduler_name: str, batch_size: int, seed: int, repeats: int):
+    """Best-of-*repeats* sims/sec per backend plus event-engine events/sec."""
+    best: Dict[str, float] = {}
+    events = 0
+    for backend in ("event", "fast"):
+        fastest = float("inf")
+        for _ in range(repeats):
+            result, elapsed = run_once(scale, scheduler_name, batch_size, backend, seed)
+            fastest = min(fastest, elapsed)
+            events = result.events_processed
+        best[backend] = fastest
+    return {
+        "scheduler": scheduler_name,
+        "batch_size": batch_size,
+        "events_processed": events,
+        "events_per_second_event_driven": round(events / best["event"], 1),
+        "sims_per_second": {
+            "event": round(1.0 / best["event"], 3),
+            "fast": round(1.0 / best["fast"], 3),
+        },
+        "speedup": round(best["event"] / best["fast"], 3),
+    }
+
+
+def measure_scale(scale: SimScale, seed: int, repeats: int) -> Dict[str, object]:
+    assert_backend_parity(scale, seed)
+    cells = {
+        cell: measure_cell(scale, scheduler_name, batch_of(scale), seed, repeats)
+        for cell, scheduler_name, batch_of in CELLS
+    }
+    return {
+        "n_tasks": scale.n_tasks,
+        "n_processors": scale.n_processors,
+        "batch_size": scale.batch_size,
+        "mean_comm_cost": scale.mean_comm_cost,
+        "backend_parity": "bit-identical",
+        "cells": cells,
+    }
+
+
+def run_record(args: argparse.Namespace) -> int:
+    names = sorted(SCALES) if args.scale == "all" else [args.scale]
+    record = {
+        "benchmark": "sim_core_speed/event_vs_fast",
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "min_replay_speedup_paper": PAPER_REPLAY_FLOOR,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scales": {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names},
+    }
+    print(json.dumps(record, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def run_check(args: argparse.Namespace) -> int:
+    if args.scale == "all":
+        print("error: --check gates one scale at a time", file=sys.stderr)
+        return 2
+    with open(args.record, encoding="utf8") as handle:
+        committed = json.load(handle)
+    reference = committed["scales"].get(args.scale)
+    if reference is None:
+        print(f"error: {args.record} has no '{args.scale}' scale", file=sys.stderr)
+        return 2
+
+    measured = measure_scale(SCALES[args.scale], args.seed, args.repeats)
+    print(json.dumps(measured, indent=2))
+
+    failed = False
+    for cell, data in measured["cells"].items():
+        if data["speedup"] < 1.0:
+            print(
+                f"FAIL [{cell}]: fast backend is slower than the event backend "
+                f"({data['speedup']:.2f}x)",
+                file=sys.stderr,
+            )
+            failed = True
+
+    replay = measured["cells"]["replay"]["speedup"]
+    reference_replay = reference["cells"]["replay"]["speedup"]
+    floor = reference_replay * (1.0 - args.tolerance)
+    print(
+        f"sim_core_speed --check [{args.scale}]: replay speedup {replay:.2f}x, "
+        f"committed {reference_replay:.2f}x, floor {floor:.2f}x"
+    )
+    if replay < floor:
+        print(
+            f"FAIL: replay speedup regressed more than {args.tolerance:.0%} below "
+            f"the committed record ({replay:.2f}x < {floor:.2f}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.scale == "paper" and replay < PAPER_REPLAY_FLOOR:
+        print(
+            f"FAIL: paper-scale replay speedup below the {PAPER_REPLAY_FLOOR:.1f}x "
+            f"target ({replay:.2f}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("PASS: fast simulation backend within budget (and bit-identical)")
+    return 0
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default="all",
+        choices=[*sorted(SCALES), "all"],
+        help="benchmark size to run (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats; the best is kept"
+    )
+    parser.add_argument("--output", default=None, help="write the BENCH json here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the measured speedups against the committed record",
+    )
+    parser.add_argument(
+        "--record",
+        default=DEFAULT_RECORD,
+        help="committed BENCH json to gate against (with --check)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed fractional speedup regression before --check fails",
+    )
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    if args.check:
+        return run_check(args)
+    return run_record(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,7 @@ from .io.results import save_scenario_matrix_json
 from .parallel import executor_from_jobs
 from .scenarios import make_all_scenarios, run_scenario_matrix, scenario_names
 from .schedulers.registry import ALL_SCHEDULER_NAMES
+from .sim.simulation import SIM_BACKENDS
 from .util.errors import ReproError
 from .workloads.suites import paper_workloads, workload_by_name
 
@@ -165,6 +166,17 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
             "RNG draw-order contract (see repro.ga.kernels)"
         ),
     )
+    parser.add_argument(
+        "--sim-backend",
+        default=None,
+        choices=sorted(SIM_BACKENDS),
+        help=(
+            "simulation core: 'fast' replays static simulations through the "
+            "batched static-replay backend (default), 'event' always pumps "
+            "the discrete-event engine; results are bit-identical either "
+            "way (see repro.sim.fastpath)"
+        ),
+    )
 
 
 def _scale_from_args(args: argparse.Namespace):
@@ -178,6 +190,9 @@ def _scale_from_args(args: argparse.Namespace):
     ga_backend = getattr(args, "ga_backend", None)
     if ga_backend is not None:
         scale = scale.scaled(ga_backend=ga_backend)
+    sim_backend = getattr(args, "sim_backend", None)
+    if sim_backend is not None:
+        scale = scale.scaled(sim_backend=sim_backend)
     return scale
 
 
@@ -192,7 +207,8 @@ def _cmd_list() -> int:
             f"  {name:6s} tasks={scale.n_tasks}/{scale.n_tasks_large} "
             f"procs={scale.n_processors} batch={scale.batch_size} "
             f"generations={scale.max_generations} repeats={scale.repeats} "
-            f"jobs={scale.jobs} ga-backend={scale.ga_backend}"
+            f"jobs={scale.jobs} ga-backend={scale.ga_backend} "
+            f"sim-backend={scale.sim_backend}"
         )
     return 0
 

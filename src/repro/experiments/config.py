@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Sequence
 
 from ..ga.kernels import BACKEND_NAMES
+from ..sim.simulation import SIM_BACKENDS
 from ..util.errors import ConfigurationError
 from ..util.validation import require_positive_int
 
@@ -60,6 +61,11 @@ class ExperimentScale:
         whole-population NumPy kernels, the default, or ``"loop"`` — the
         per-individual reference implementation).  See
         :mod:`repro.ga.kernels`; CLI ``--ga-backend`` overrides it.
+    sim_backend:
+        Simulation core of every simulated schedule (``"fast"`` — the
+        batched static-replay backend, the default — or ``"event"`` — the
+        discrete-event engine).  Both produce bit-identical results; see
+        :mod:`repro.sim.fastpath`.  CLI ``--sim-backend`` overrides it.
     """
 
     name: str
@@ -74,6 +80,7 @@ class ExperimentScale:
     convergence_generations: int = 100
     jobs: int = 1
     ga_backend: str = "vectorized"
+    sim_backend: str = "fast"
 
     def __post_init__(self) -> None:
         require_positive_int(self.n_tasks, "n_tasks")
@@ -87,6 +94,11 @@ class ExperimentScale:
         if self.ga_backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"unknown ga_backend {self.ga_backend!r}; expected one of {sorted(BACKEND_NAMES)}"
+            )
+        if self.sim_backend not in SIM_BACKENDS:
+            raise ConfigurationError(
+                f"unknown sim_backend {self.sim_backend!r}; "
+                f"expected one of {list(SIM_BACKENDS)}"
             )
         if not self.comm_cost_means:
             raise ConfigurationError("comm_cost_means must contain at least one value")

@@ -86,10 +86,13 @@ def scenario_matrix_table(
         "rescheduled_mean",
         "downtime_mean",
         "conserved",
+        "wall_clock_s",
+        "events_per_s",
     ]
     rows = []
     for scenario in result.scenarios:
         for scheduler, agg in result.aggregates[scenario].items():
+            timing_known = agg.wall_clock_seconds is not None
             rows.append(
                 [
                     scenario,
@@ -100,6 +103,8 @@ def scenario_matrix_table(
                     agg.tasks_rescheduled.mean,
                     agg.worker_downtime_seconds.mean,
                     "yes" if agg.conservation_ok else "NO",
+                    agg.wall_clock_seconds.mean if timing_known else "-",
+                    int(agg.events_per_second.mean) if timing_known else "-",
                 ]
             )
     # A cell is one (scenario, scheduler, repeat) simulation, so

@@ -150,6 +150,10 @@ def compare_schedulers(
     if unknown:
         raise ConfigurationError(f"unknown schedulers requested: {unknown}")
     executor = resolve_executor(executor, scale.jobs)
+    if sim_config is None:
+        # An explicit sim_config wins; otherwise the scale's simulation
+        # backend choice (CLI --sim-backend) is threaded into every repeat.
+        sim_config = SimulationConfig(sim_backend=scale.sim_backend)
 
     # One 64-bit draw per repeat from the master stream, exactly as the serial
     # harness has always consumed it; each draw seeds the repeat's private

@@ -189,6 +189,10 @@ def scenario_matrix_to_dict(result: "ScenarioMatrixResult") -> Dict:
         "executor": result.executor,
         "conservation_ok": result.conservation_ok(),
         "aggregates": result.signature(),
+        # Machine-dependent wall-clock / events-per-second summaries; kept
+        # outside "aggregates" so determinism comparisons (CI's serial vs
+        # --jobs N equality) can ignore them wholesale.
+        "timing": result.timing(),
     }
 
 
@@ -242,10 +246,13 @@ def scenario_matrix_to_csv(result: "ScenarioMatrixResult") -> str:
             "conservation_ok",
             "repeats",
             "executor",
+            "wall_clock_mean_seconds",
+            "events_per_second_mean",
         ]
     )
     for scenario in result.scenarios:
         for scheduler, agg in result.aggregates[scenario].items():
+            timing_known = agg.wall_clock_seconds is not None
             writer.writerow(
                 [
                     scenario,
@@ -260,6 +267,8 @@ def scenario_matrix_to_csv(result: "ScenarioMatrixResult") -> str:
                     agg.conservation_ok,
                     agg.repeats,
                     result.executor,
+                    agg.wall_clock_seconds.mean if timing_known else "",
+                    agg.events_per_second.mean if timing_known else "",
                 ]
             )
     return buffer.getvalue()

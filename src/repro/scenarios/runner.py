@@ -21,6 +21,7 @@ the aggregate records whether any cell violated it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -92,6 +93,13 @@ class ScenarioCellOutcome:
     events_processed: int
     #: True when every arrived task completed exactly once despite dynamics.
     conservation_ok: bool
+    #: Measured wall-clock seconds of the cell's simulation (excludes
+    #: workload/cluster construction); machine-dependent, so excluded from
+    #: outcome equality and the determinism signature, but persisted for
+    #: perf trajectories.
+    wall_clock_seconds: float = field(default=0.0, compare=False)
+    #: Simulation events processed per wall-clock second.
+    events_per_second: float = field(default=0.0, compare=False)
 
 
 def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
@@ -116,6 +124,7 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
         ga_backend=cell.ga_backend,
         rng=int(sched_seed_rng.integers(0, 2**31 - 1)),
     )
+    start = time.perf_counter()
     result = simulate_schedule(
         scheduler,
         cluster,
@@ -124,8 +133,9 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
         dynamics=DynamicsTimeline(spec.dynamics),
         rng=int(sim_seed_rng.integers(0, 2**31 - 1)),
     )
+    wall_clock = time.perf_counter() - start
 
-    completed_ids = [record.task_id for record in result.trace.records]
+    completed_ids = result.trace.task_ids().tolist()
     expected = len(tasks) + result.tasks_injected
     conservation_ok = (
         len(completed_ids) == expected and len(set(completed_ids)) == len(completed_ids)
@@ -152,6 +162,10 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
         scheduler_invocations=int(result.scheduler_invocations),
         events_processed=int(result.events_processed),
         conservation_ok=conservation_ok,
+        wall_clock_seconds=float(wall_clock),
+        events_per_second=(
+            float(result.events_processed / wall_clock) if wall_clock > 0 else 0.0
+        ),
     )
 
 
@@ -169,6 +183,10 @@ class ScenarioAggregate:
     worker_downtime_seconds: SampleSummary
     mean_queue_length: SampleSummary
     conservation_ok: bool
+    #: Machine-dependent timing summaries (not part of the determinism
+    #: signature): simulation wall-clock per cell and events per second.
+    wall_clock_seconds: Optional[SampleSummary] = None
+    events_per_second: Optional[SampleSummary] = None
 
 
 @dataclass
@@ -225,6 +243,28 @@ class ScenarioMatrixResult:
             for scenario, by_scheduler in self.aggregates.items()
         }
 
+    def timing(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """Machine-dependent per-aggregate timing (wall-clock, events/sec).
+
+        Deliberately separate from :meth:`signature`: wall-clock numbers vary
+        between runs and machines, so they are persisted for performance
+        trajectories but excluded from the serial-vs-parallel equality that
+        CI asserts bit-for-bit.
+        """
+        return {
+            scenario: {
+                scheduler: {
+                    "wall_clock_mean_seconds": agg.wall_clock_seconds.mean,
+                    "wall_clock_std_seconds": agg.wall_clock_seconds.std,
+                    "events_per_second_mean": agg.events_per_second.mean,
+                }
+                for scheduler, agg in by_scheduler.items()
+                if agg.wall_clock_seconds is not None
+                and agg.events_per_second is not None
+            }
+            for scenario, by_scheduler in self.aggregates.items()
+        }
+
 
 def _aggregate_outcomes(
     outcomes: Sequence[ScenarioCellOutcome],
@@ -247,6 +287,8 @@ def _aggregate_outcomes(
             ),
             mean_queue_length=summarise(c.mean_queue_length for c in cells),
             conservation_ok=all(c.conservation_ok for c in cells),
+            wall_clock_seconds=summarise(c.wall_clock_seconds for c in cells),
+            events_per_second=summarise(c.events_per_second for c in cells),
         )
     return aggregates
 
@@ -300,6 +342,10 @@ def run_scenario_matrix(
         raise ConfigurationError(f"repeats must be positive, got {n_repeats}")
 
     executor = resolve_executor(executor, jobs if jobs is not None else scale.jobs)
+    if sim_config is None:
+        # An explicit sim_config wins; otherwise the scale's simulation
+        # backend choice (CLI --sim-backend) is threaded into every cell.
+        sim_config = SimulationConfig(sim_backend=scale.sim_backend)
     master_rng = ensure_rng(seed)
     cells: List[ScenarioCell] = []
     scheduler_union: List[str] = []

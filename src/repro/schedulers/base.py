@@ -85,6 +85,30 @@ class SchedulingContext:
             raise ConfigurationError("pending loads and comm costs must be non-negative")
         self.rng = ensure_rng(self.rng)
 
+    @classmethod
+    def trusted(
+        cls,
+        time: float,
+        rates: np.ndarray,
+        pending_loads: np.ndarray,
+        comm_costs: np.ndarray,
+        rng: np.random.Generator,
+    ) -> "SchedulingContext":
+        """Build a context from already-validated float64 arrays.
+
+        Skips ``__post_init__`` (conversion + validation), which is a
+        measurable per-invocation cost for immediate-mode schedulers that are
+        invoked once per task.  Callers (the master, :meth:`copy`) guarantee
+        the invariants the normal constructor enforces.
+        """
+        ctx = object.__new__(cls)
+        ctx.time = time
+        ctx.rates = rates
+        ctx.pending_loads = pending_loads
+        ctx.comm_costs = comm_costs
+        ctx.rng = rng
+        return ctx
+
     @property
     def n_processors(self) -> int:
         """Number of processors visible to the scheduler."""
@@ -102,12 +126,12 @@ class SchedulingContext:
 
     def copy(self) -> "SchedulingContext":
         """Deep copy (used by policies that tentatively accumulate load)."""
-        return SchedulingContext(
-            time=self.time,
-            rates=self.rates.copy(),
-            pending_loads=self.pending_loads.copy(),
-            comm_costs=self.comm_costs.copy(),
-            rng=self.rng,
+        return SchedulingContext.trusted(
+            self.time,
+            self.rates.copy(),
+            self.pending_loads.copy(),
+            self.comm_costs.copy(),
+            self.rng,
         )
 
 
@@ -165,6 +189,15 @@ class ScheduleAssignment:
     def queues(self) -> List[List[int]]:
         """All queues, ordered by processor id."""
         return [list(q) for q in self._queues]
+
+    def iter_queues(self) -> List[List[int]]:
+        """The internal queues, ordered by processor id, *without* copying.
+
+        Hot-path accessor for callers that only iterate (the master applies
+        one assignment per scheduling invocation); the returned lists must
+        not be mutated.
+        """
+        return self._queues
 
     def processor_of(self, task_id: int) -> int:
         """Processor a task was assigned to (raises if the task is unassigned)."""

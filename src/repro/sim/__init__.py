@@ -2,9 +2,11 @@
 
 from .engine import DiscreteEventEngine, EventQueue
 from .events import Event, EventKind
+from .fastpath import run_static_replay
 from .master import Master
 from .metrics import DynamicsStats, ProcessorStats, SimulationMetrics, compute_metrics
 from .simulation import (
+    SIM_BACKENDS,
     DistributedSystemSimulation,
     DynamicsTimelineLike,
     SimulationConfig,
@@ -28,8 +30,10 @@ __all__ = [
     "SimulationMetrics",
     "compute_metrics",
     "DynamicsTimelineLike",
+    "SIM_BACKENDS",
     "SimulationConfig",
     "SimulationResult",
     "DistributedSystemSimulation",
     "simulate_schedule",
+    "run_static_replay",
 ]

@@ -3,12 +3,11 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional
 
 from ..util.errors import SimulationError
 
-__all__ = ["EventKind", "Event"]
+__all__ = ["EventKind", "Event", "KIND_CODES", "CODED_KINDS"]
 
 
 class EventKind(enum.Enum):
@@ -38,21 +37,40 @@ class EventKind(enum.Enum):
     LOAD_SPIKE = "load_spike"
 
 
-@dataclass(order=True, frozen=True)
+#: Dense integer code of each kind, used by the engine's array-backed heap
+#: records and its list-indexed handler table (indexing a list by int is
+#: substantially cheaper than hashing an enum member per event).
+KIND_CODES: Dict[EventKind, int] = {kind: code for code, kind in enumerate(EventKind)}
+#: Inverse mapping: ``CODED_KINDS[code]`` is the :class:`EventKind` member.
+CODED_KINDS: List[EventKind] = list(EventKind)
+
+
 class Event:
     """A single scheduled occurrence in simulated time.
 
-    Events compare by ``(time, seq)`` so simultaneous events retain their
+    Events order by ``(time, seq)`` so simultaneous events retain their
     insertion order, which keeps the simulation deterministic.  Sequence
     numbers are owned by the :class:`~repro.sim.engine.DiscreteEventEngine`
     that created the event (one counter per engine), so tie-break ordering
     never depends on other simulations run earlier in the same process.
+
+    The class is ``__slots__``-based (no per-instance ``__dict__``) because
+    one instance is allocated per scheduled event on the simulation hot path.
     """
 
-    time: float
-    seq: int = field(compare=True)
-    kind: EventKind = field(compare=False)
-    data: Dict[str, Any] = field(compare=False, default_factory=dict)
+    __slots__ = ("time", "seq", "kind", "data")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        kind: EventKind,
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.kind = kind
+        self.data: Dict[str, Any] = {} if data is None else data
 
     @classmethod
     def make(cls, time: float, kind: EventKind, *, seq: int = 0, **data: Any) -> "Event":
@@ -64,7 +82,31 @@ class Event:
         """
         if time < 0:
             raise SimulationError(f"event time must be >= 0, got {time}")
-        return cls(time=float(time), seq=int(seq), kind=kind, data=dict(data))
+        return cls(float(time), int(seq), kind, data)
+
+    # -- ordering / equality (by time then sequence, as before) -------------------
+    def _key(self):
+        return (self.time, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._key() <= other._key()
+
+    def __gt__(self, other: "Event") -> bool:
+        return self._key() > other._key()
+
+    def __ge__(self, other: "Event") -> bool:
+        return self._key() >= other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.seq))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Event(t={self.time:.4g}, kind={self.kind.value}, data={self.data})"

@@ -1,0 +1,623 @@
+"""Batched static replay: the ``fast`` simulation backend.
+
+:func:`run_static_replay` produces *bit-identical* results to pumping the
+same :class:`~repro.sim.simulation.DistributedSystemSimulation` through the
+discrete-event engine, for simulations without cluster dynamics (no
+failures/recoveries/joins/load spikes — the whole figure suite and every
+steady-state scenario).  It exploits the static structure three times:
+
+1. **Merge loop instead of a general event heap.**  In a static run only
+   three event sources exist: task arrivals (known up front, pre-sorted),
+   at-most-one outstanding completion per worker (a tiny heap), and
+   same-time follow-ups (scheduler invocations and worker fetches, a FIFO —
+   the engine always schedules them at the current time, so they order by
+   sequence number alone).  The replay merges these three sources by the
+   engine's exact ``(time, seq)`` discipline, reproducing the event order —
+   including tie-breaks — without allocating one object per event or
+   dispatching through a handler table.
+
+2. **Bulk communication-cost draws.**  ``Generator.normal(mean, std)`` is
+   exactly ``mean + std * standard_normal()`` on the same bit stream, so the
+   replay pre-draws standard normals in growing blocks and turns each
+   per-dispatch cost into two float operations, preserving both the values
+   and the one-draw-per-dispatch stream consumption of the event path.
+
+3. **Batched terminal drain.**  Once every task has arrived and been
+   assigned (no unscheduled work remains and no follow-up is pending), no
+   scheduler invocation can ever run again: the remainder of the simulation
+   is each worker draining a fixed queue, and the master's and policy's
+   feedback observations can no longer influence any result.  The replay
+   stops paying for them and computes per-worker fetch/completion timelines
+   directly — cumulative sums of ``comm + exec`` durations, accumulated per
+   worker in the engine's exact operation order so every intermediate float
+   rounds identically.  When every remaining per-dispatch cost and rate is
+   deterministic, each worker's whole timeline is precomputed from a
+   vectorised ``sizes / rate`` array and only an order-only merge remains;
+   with stochastic links the draws must stay in global dispatch order (each
+   cost is one draw from the *shared* network stream), so the drain
+   interleaves workers through the same tiny completion heap while still
+   skipping all dead bookkeeping.
+
+RNG contract: the replay consumes the network stream draw-for-draw in the
+engine's dispatch order.  Zero-mean links never draw (``sample_cost`` short
+circuits) and zero-variance links draw a value that is exactly the mean, in
+both backends.  The only divergence is the *final stream position*: block
+pre-drawing can leave unused draws, and the all-deterministic drain elides
+draws whose values cannot affect any result.  The stream is private to
+communication sampling, so no result can observe the difference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from ..util.errors import SimulationError
+from .engine import budget_error
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulation import DistributedSystemSimulation
+
+__all__ = ["is_static", "run_static_replay"]
+
+#: FIFO entry codes for the same-time follow-up queue.
+_INVOKE = 0
+_FETCH = 1
+
+#: Per-processor communication sampling plans (see :func:`_comm_plans`).
+_NEVER_DRAWS = 0  # zero mean: cost 0.0, no stream consumption
+_DRAWS_CONSTANT = 1  # zero variance: cost == mean exactly, one draw consumed
+_DRAWS_NORMAL = 2  # constant condition: mean + std * z
+_DRAWS_VARYING = 3  # time-varying condition: resolve the mean per dispatch
+
+
+class _NormalBlocks:
+    """Standard-normal draws from *rng*, pre-drawn in growing blocks.
+
+    ``Generator.standard_normal(k)`` fills its output with exactly the same
+    values k sequential scalar draws would produce, so handing them out one
+    at a time preserves the event path's draw-for-draw stream semantics
+    while amortising the per-call generator overhead.
+    """
+
+    __slots__ = ("_rng", "_block", "_pos", "_size")
+
+    def __init__(self, rng) -> None:
+        self._rng = rng
+        self._block = ()
+        self._pos = 0
+        self._size = 128
+
+    def next(self) -> float:
+        pos = self._pos
+        if pos >= len(self._block):
+            self._block = self._rng.standard_normal(self._size)
+            if self._size < 8192:
+                self._size *= 2
+            pos = 0
+        self._pos = pos + 1
+        return self._block[pos]
+
+
+def is_static(sim: "DistributedSystemSimulation") -> bool:
+    """Whether *sim* has no cluster dynamics and so admits the fast backend.
+
+    A dynamics timeline that is present but empty (``bool(timeline)`` falsy
+    and nothing initially offline) schedules no events and registers no
+    observable behaviour, so it is treated as static — steady-state scenario
+    cells take the fast path too.
+    """
+    dynamics = sim._dynamics
+    if dynamics is None:
+        return True
+    try:
+        empty = not dynamics
+    except TypeError:  # pragma: no cover - defensive for exotic timelines
+        return False
+    return empty and not set(dynamics.initially_offline())
+
+
+def _comm_plans(sim: "DistributedSystemSimulation"):
+    """One ``(kind, mean, std, link)`` sampling plan per processor.
+
+    Replicates :meth:`CommLink.sample_cost` exactly, including its stream
+    consumption: a zero-mean link returns 0.0 *without* drawing, every other
+    link consumes exactly one (standard-normal) draw per dispatch — even
+    when ``relative_std`` is zero and the drawn value is provably the mean.
+    """
+    from ..cluster.variation import ConstantAvailability
+
+    plans = []
+    for proc in range(sim.cluster.n_processors):
+        link = sim.cluster.network.link(proc)
+        if isinstance(link.condition, ConstantAvailability):
+            mean = float(link.effective_mean(0.0))
+            std = float(link.relative_std * mean)
+            if mean == 0.0:
+                plans.append((_NEVER_DRAWS, 0.0, 0.0, link))
+            elif std == 0.0:
+                plans.append((_DRAWS_CONSTANT, mean, 0.0, link))
+            else:
+                plans.append((_DRAWS_NORMAL, mean, std, link))
+        else:
+            plans.append((_DRAWS_VARYING, 0.0, float(link.relative_std), link))
+    return plans
+
+
+def _sample_comm(plan, t: float, normals: _NormalBlocks) -> float:
+    """One per-dispatch communication cost under *plan* at time *t*.
+
+    The single replica of :meth:`CommLink.sample_cost`'s value/stream
+    semantics shared by the live merge loop and the sequential drain — any
+    change to draw accounting or clamping happens here, once.
+    """
+    kind, mean, std, link = plan
+    if kind == _NEVER_DRAWS:
+        return 0.0
+    if kind == _DRAWS_CONSTANT:
+        normals.next()  # value is exactly the mean; the draw still counts
+        return mean
+    if kind == _DRAWS_VARYING:
+        mean = link.effective_mean(t)
+        std = link.relative_std * mean
+        if mean == 0.0:
+            return 0.0
+    cost = float(mean + std * normals.next())
+    return cost if cost > 0.0 else 0.0
+
+
+def _const_rates(sim: "DistributedSystemSimulation"):
+    """Per-processor constant execution rate, or ``None`` when time-varying."""
+    from ..cluster.variation import ConstantAvailability
+
+    rates = []
+    for worker in sim.workers:
+        processor = worker.processor
+        if isinstance(processor.availability, ConstantAvailability):
+            rates.append(processor.current_rate(0.0))
+        else:
+            rates.append(None)
+    return rates
+
+
+def run_static_replay(sim: "DistributedSystemSimulation") -> Tuple[float, int]:
+    """Run *sim* to completion on the fast path.
+
+    Returns ``(end_time, events_processed)`` where both numbers equal what
+    :meth:`DiscreteEventEngine.run` would report for the same simulation.
+    Every result-visible state — the trace, queue trajectory, worker
+    bookkeeping, master queues/pending loads and all counters — is mutated
+    exactly as the event-driven handlers would mutate it.  The one
+    intentional exception: once the terminal drain starts, the master's
+    smoothed rate/comm estimators and the policy's ``observe_*`` hooks are
+    no longer fed (no scheduling decision can ever read them again), so
+    their *post-run* internal state differs from the event backend's.
+    """
+    master = sim.master
+    workers = sim.workers
+    trace = sim.trace
+    max_events = sim.config.max_events
+    horizon = sim.config.time_horizon
+    tasks = list(sim.tasks)
+    n = len(tasks)
+
+    # Arrivals are scheduled up front by the event path with sequence numbers
+    # 0..n-1 in task order; sorting by arrival time with a stable sort yields
+    # the identical (time, seq) pop order.
+    times_by_task = [task.arrival_time for task in tasks]
+    order = sorted(range(n), key=times_by_task.__getitem__)
+    arr_time = [times_by_task[i] for i in order]
+    for t in arr_time:
+        if t < 0:
+            raise SimulationError(f"event time must be >= 0, got {t}")
+
+    seq = n  # next sequence number, continuing after the arrival block
+    now = 0.0
+    processed = 0
+    ai = 0
+    fifo = deque()  # (time, seq, code, proc) follow-ups at the current time
+    comp: List[Tuple[float, int, int]] = []  # (time, seq, proc) completions
+    inflight = {}  # proc -> (task, dispatch_time, comm_cost)
+    pending_invoke = False
+    plans = _comm_plans(sim)
+    const_rates = _const_rates(sim)
+    normals = _NormalBlocks(sim._network_rng)
+    sample_queues = sim._sample_queues
+    schedule_all = master.schedule_all_available
+    pop_task_for = master.pop_task_for
+
+    # Completion records accumulate in plain lists and flush into the trace
+    # buffer in one vectorised extend per phase.
+    col_task, col_proc, col_size, col_arrival = [], [], [], []
+    col_assigned, col_dispatch, col_start, col_end = [], [], [], []
+
+    def flush_records() -> None:
+        if col_task:
+            trace.extend_records(
+                col_task, col_proc, col_size, col_arrival,
+                col_assigned, col_dispatch, col_start, col_end,
+            )
+
+    def do_fetch(t: float, proc: int) -> None:
+        nonlocal seq, pending_invoke
+        worker = workers[proc]
+        if worker.current_task is not None:
+            return  # stale wake-up: the worker already fetched something
+        task = pop_task_for(proc)
+        if task is None:
+            if master.unscheduled and not pending_invoke:
+                pending_invoke = True
+                fifo.append((t, seq, _INVOKE, -1))
+                seq += 1
+            return
+        comm_cost = _sample_comm(plans[proc], t, normals)
+        # Inlined WorkerState.start_task (validations that cannot fail on the
+        # static path are elided; the arithmetic is identical).
+        exec_start = t + comm_cost
+        rate = const_rates[proc]
+        if rate is None:
+            rate = worker.processor.current_rate(exec_start)
+        if rate <= 0:
+            raise SimulationError(
+                f"worker {proc} has non-positive rate at t={exec_start}"
+            )
+        completion_time = exec_start + task.size_mflops / rate
+        worker.current_task = task
+        worker.busy_until = completion_time
+        worker.comm_seconds += comm_cost
+        master.observe_dispatch(proc, comm_cost, t)
+        heapq.heappush(comp, (completion_time, seq, proc))
+        inflight[proc] = (task, t, comm_cost)
+        seq += 1
+
+    # -- phase 1: faithful merge loop while scheduling decisions can still occur --
+    while True:
+        if not fifo and ai == n and not master.unscheduled and horizon is None:
+            break  # no invocation can ever run again: switch to the drain
+
+        # Select the next event by the engine's (time, seq) order.
+        src = -1
+        best_t = best_s = 0.0
+        if fifo:
+            entry = fifo[0]
+            best_t = entry[0]
+            best_s = entry[1]
+            src = 0
+        if ai < n:
+            t = arr_time[ai]
+            if src < 0 or t < best_t or (t == best_t and order[ai] < best_s):
+                best_t = t
+                best_s = order[ai]
+                src = 1
+        if comp:
+            head = comp[0]
+            t = head[0]
+            if src < 0 or t < best_t or (t == best_t and head[1] < best_s):
+                best_t = t
+                best_s = head[1]
+                src = 2
+        if src < 0:
+            break  # queue drained (only possible with a horizon or no work)
+        if horizon is not None and best_t > horizon:
+            break
+        if best_t > now:
+            now = best_t
+
+        if src == 1:  # TASK_ARRIVAL
+            # All arrivals sharing this time pop back-to-back: their sequence
+            # numbers (0..n-1) precede every runtime-scheduled event, so no
+            # completion or follow-up at the same time can interleave.
+            unscheduled = master.unscheduled
+            unscheduled.append(tasks[order[ai]])
+            ai += 1
+            processed += 1
+            while ai < n and arr_time[ai] == best_t:
+                unscheduled.append(tasks[order[ai]])
+                ai += 1
+                processed += 1
+            if not pending_invoke:
+                pending_invoke = True
+                fifo.append((best_t, seq, _INVOKE, -1))
+                seq += 1
+            if processed > max_events:
+                flush_records()  # keep the error-path trace intact
+                raise budget_error(max_events)
+            continue
+        if src == 2:  # TASK_COMPLETION
+            _, _, proc = heapq.heappop(comp)
+            worker = workers[proc]
+            task, dispatch_time, comm_cost = inflight.pop(proc)
+            worker.finish_task(best_t)
+            exec_start = dispatch_time + comm_cost
+            exec_seconds = best_t - exec_start
+            worker.record_execution(exec_seconds)
+            master.observe_completion(proc, task, exec_seconds, best_t)
+            task_id = task.task_id
+            col_task.append(task_id)
+            col_proc.append(proc)
+            col_size.append(task.size_mflops)
+            col_arrival.append(task.arrival_time)
+            col_assigned.append(master.assigned_time_of(task_id))
+            col_dispatch.append(dispatch_time)
+            col_start.append(exec_start)
+            col_end.append(best_t)
+            sim._completed += 1
+            fifo.append((best_t, seq, _FETCH, proc))
+            seq += 1
+        else:  # follow-up FIFO: INVOKE_SCHEDULER or WORKER_FETCH
+            _, _, code, proc = fifo.popleft()
+            if code == _INVOKE:
+                pending_invoke = False
+                sample_queues(best_t)
+                if schedule_all(best_t) > 0:
+                    for worker in workers:
+                        if (
+                            worker.online
+                            and worker.current_task is None
+                            and master.proc_queues[worker.proc_id]
+                        ):
+                            fifo.append((best_t, seq, _FETCH, worker.proc_id))
+                            seq += 1
+            else:
+                do_fetch(best_t, proc)
+
+        processed += 1
+        if processed > max_events:
+            flush_records()  # keep the error-path trace intact
+            raise budget_error(max_events)
+
+    flush_records()
+    if horizon is not None or not comp:
+        return now, processed
+
+    # -- phase 2: terminal drain ------------------------------------------------------
+    # Remaining work: each worker finishes its in-flight task and drains its
+    # fixed master-side queue.  Feedback observations are dead from here on.
+    deterministic_drain = all(
+        plans[proc][0] in (_NEVER_DRAWS, _DRAWS_CONSTANT)
+        and const_rates[proc] is not None
+        for proc in inflight
+    )
+    remaining = sum(1 + len(master.proc_queues[p]) for p in inflight)
+    within_budget = processed + 2 * remaining <= max_events
+    if not within_budget:
+        deterministic_drain = False  # sequential drain raises at the exact event
+
+    if deterministic_drain:
+        now = _drain_deterministic(sim, comp, inflight, plans, const_rates, seq, now)
+    else:
+        now = _drain_sequential(
+            sim, comp, inflight, plans, const_rates, normals, seq, processed, now,
+            check_budget=not within_budget,
+        )
+    return now, processed + 2 * remaining
+
+
+def _drain_sequential(
+    sim: "DistributedSystemSimulation",
+    comp: List[Tuple[float, int, int]],
+    inflight,
+    plans,
+    const_rates,
+    normals: _NormalBlocks,
+    seq: int,
+    processed: int,
+    now: float,
+    *,
+    check_budget: bool = False,
+) -> float:
+    """Drain the remaining fixed queues one completion at a time.
+
+    Needed whenever per-dispatch communication costs (or rates) are
+    stochastic: each cost is one draw from the shared network stream, taken
+    in global dispatch order, so workers must interleave exactly as the
+    event engine would.  ``check_budget`` is only set when the caller could
+    not prove up front that the event budget covers the whole drain.
+    """
+    master = sim.master
+    workers = sim.workers
+    trace = sim.trace
+    max_events = sim.config.max_events
+    queues = master.proc_queues
+    assigned_time = master._assigned_time
+    pending_loads = master.pending_loads
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    n_procs = len(workers)
+    inflight_task = [None] * n_procs
+    inflight_dispatch = [0.0] * n_procs
+    inflight_comm = [0.0] * n_procs
+    for proc, (task, dispatch_time, comm_cost) in inflight.items():
+        inflight_task[proc] = task
+        inflight_dispatch[proc] = dispatch_time
+        inflight_comm[proc] = comm_cost
+    inflight.clear()
+
+    # Record columns are batch-appended at the end: Python-list appends in
+    # the loop, one vectorised extend into the trace buffer afterwards (and
+    # on the budget error path, so the partial trace matches the event
+    # backend's when the storm guard fires).
+    col_task, col_proc, col_size, col_arrival = [], [], [], []
+    col_assigned, col_dispatch, col_start, col_end = [], [], [], []
+    completed = 0
+
+    def flush() -> None:
+        trace.extend_records(
+            col_task, col_proc, col_size, col_arrival,
+            col_assigned, col_dispatch, col_start, col_end,
+        )
+        sim._completed += completed
+
+    while comp:
+        t, _, proc = heappop(comp)
+        if t > now:
+            now = t
+        worker = workers[proc]
+        task = inflight_task[proc]
+        exec_start = inflight_dispatch[proc] + inflight_comm[proc]
+        worker.current_task = None
+        worker.tasks_completed += 1
+        worker.busy_seconds += t - exec_start
+        pending_loads[proc] = max(0.0, pending_loads[proc] - task.size_mflops)
+        task_id = task.task_id
+        col_task.append(task_id)
+        col_proc.append(proc)
+        col_size.append(task.size_mflops)
+        col_arrival.append(task.arrival_time)
+        col_assigned.append(assigned_time[task_id])
+        col_dispatch.append(inflight_dispatch[proc])
+        col_start.append(exec_start)
+        col_end.append(t)
+        completed += 1
+        if check_budget:
+            processed += 1
+            if processed > max_events:
+                flush()
+                raise budget_error(max_events)
+
+        # The follow-up fetch: dispatch the next queued task, if any.
+        seq += 1  # the fetch's own sequence number
+        queue = queues[proc]
+        if queue:
+            nxt = queue.popleft()
+            next_comm = _sample_comm(plans[proc], t, normals)
+            next_start = t + next_comm
+            rate = const_rates[proc]
+            if rate is None:
+                rate = worker.processor.current_rate(next_start)
+            if rate <= 0:
+                raise SimulationError(
+                    f"worker {proc} has non-positive rate at t={next_start}"
+                )
+            completion = next_start + nxt.size_mflops / rate
+            worker.current_task = nxt
+            worker.busy_until = completion
+            worker.comm_seconds += next_comm
+            heappush(comp, (completion, seq, proc))
+            inflight_task[proc] = nxt
+            inflight_dispatch[proc] = t
+            inflight_comm[proc] = next_comm
+            seq += 1
+        if check_budget:
+            processed += 1
+            if processed > max_events:
+                flush()
+                raise budget_error(max_events)
+
+    flush()
+    return now
+
+
+def _drain_deterministic(
+    sim: "DistributedSystemSimulation",
+    comp: List[Tuple[float, int, int]],
+    inflight,
+    plans,
+    const_rates,
+    seq: int,
+    now: float,
+) -> float:
+    """Drain with fully precomputed per-worker timelines.
+
+    Every remaining communication cost and execution rate is deterministic,
+    so each worker's fetch/completion timeline is the cumulative sum of its
+    ``comm + exec`` durations from its current in-flight completion onward —
+    accumulated in the engine's exact operation order, so every float rounds
+    identically.  Only the global interleaving (trace order and tie-breaks)
+    remains, which a heap merge over one precomputed timeline per worker
+    reproduces at a fraction of the per-event cost.
+    """
+    master = sim.master
+    workers = sim.workers
+    trace = sim.trace
+    assigned_time = master._assigned_time
+
+    # Per-worker timelines: dispatch/start/end lists for the queued tasks.
+    # The exec times come from one vectorised ``sizes / rate`` division (the
+    # same float64 op the event path performs per task); the running sums are
+    # accumulated in the engine's exact operation order.
+    timelines = {}
+    for t0, _, proc in comp:
+        worker = workers[proc]
+        queue = list(master.proc_queues[proc])
+        master.proc_queues[proc].clear()
+        comm = 0.0 if plans[proc][0] == _NEVER_DRAWS else plans[proc][1]
+        rate = const_rates[proc]
+        sizes = np.array([task.size_mflops for task in queue], dtype=float)
+        exec_times = (sizes / rate).tolist()
+        dispatches = []
+        starts = []
+        ends = []
+        end = t0
+        comm_seconds = worker.comm_seconds
+        busy_seconds = worker.busy_seconds
+        # In-flight task: completes at t0; its execution seconds accrue now.
+        task, dispatch_time, comm_cost = inflight[proc]
+        inflight_start = dispatch_time + comm_cost
+        busy_seconds += t0 - inflight_start
+        load = master.pending_loads[proc]
+        load = max(0.0, load - task.size_mflops)
+        for i, exec_time in enumerate(exec_times):
+            dispatches.append(end)
+            start = end + comm
+            starts.append(start)
+            end = start + exec_time
+            ends.append(end)
+            comm_seconds += comm
+            busy_seconds += end - start
+            load = max(0.0, load - queue[i].size_mflops)
+        master.pending_loads[proc] = load
+        worker.comm_seconds = comm_seconds
+        worker.busy_seconds = busy_seconds
+        worker.tasks_completed += 1 + len(queue)
+        worker.current_task = None
+        worker.busy_until = end
+        timelines[proc] = (queue, dispatches, starts, ends)
+
+    # Order-only merge: emit completions in the engine's (time, seq) order.
+    heap = list(comp)
+    heapq.heapify(heap)
+    progress = {proc: 0 for proc in timelines}
+    col_task, col_proc, col_size, col_arrival = [], [], [], []
+    col_assigned, col_dispatch, col_start, col_end = [], [], [], []
+    completed = 0
+    while heap:
+        t, _, proc = heapq.heappop(heap)
+        if t > now:
+            now = t
+        queue, dispatches, starts, ends = timelines[proc]
+        i = progress[proc]
+        if i == 0:
+            task, dispatch_time, comm_cost = inflight.pop(proc)
+            exec_start = dispatch_time + comm_cost
+            end = t
+        else:
+            task = queue[i - 1]
+            dispatch_time = dispatches[i - 1]
+            exec_start = starts[i - 1]
+            end = ends[i - 1]
+        task_id = task.task_id
+        col_task.append(task_id)
+        col_proc.append(proc)
+        col_size.append(task.size_mflops)
+        col_arrival.append(task.arrival_time)
+        col_assigned.append(assigned_time[task_id])
+        col_dispatch.append(dispatch_time)
+        col_start.append(exec_start)
+        col_end.append(end)
+        completed += 1
+        seq += 1  # the follow-up fetch's sequence number
+        if i < len(queue):
+            progress[proc] = i + 1
+            heapq.heappush(heap, (ends[i], seq, proc))
+            seq += 1
+
+    trace.extend_records(
+        col_task, col_proc, col_size, col_arrival,
+        col_assigned, col_dispatch, col_start, col_end,
+    )
+    sim._completed += completed
+    return now

@@ -19,7 +19,12 @@ from typing import Deque, Dict, List, Optional, Set
 
 import numpy as np
 
-from ..schedulers.base import ScheduleAssignment, Scheduler, SchedulingContext
+from ..schedulers.base import (
+    ScheduleAssignment,
+    Scheduler,
+    SchedulerMode,
+    SchedulingContext,
+)
 from ..util.errors import SimulationError
 from ..util.rng import RNGLike, ensure_rng
 from ..util.smoothing import SmoothedMap
@@ -67,6 +72,12 @@ class Master:
 
         self._comm_estimates = SmoothedMap(nu=comm_nu, default=0.0)
         self._rate_estimates = SmoothedMap(nu=rate_nu)
+        # Dense mirrors of the two smoothed maps, refreshed on every update:
+        # contexts are built once per scheduling invocation (per *task* for
+        # immediate-mode policies), and copying a float64 array is far
+        # cheaper than a per-processor Python loop over smoother objects.
+        self._rates_vec = initial_rates.copy()
+        self._comm_vec = np.zeros(n_processors, dtype=float)
 
         #: Book-keeping: total scheduler invocations and per-invocation batch sizes.
         self.invocations = 0
@@ -176,19 +187,11 @@ class Master:
     # -- context --------------------------------------------------------------------------
     def estimated_rates(self) -> np.ndarray:
         """Per-processor rate estimates: observed history, else the initial rating."""
-        return np.array(
-            [
-                self._rate_estimates.get(p, default=float(self._initial_rates[p]))
-                for p in range(self.n_processors)
-            ],
-            dtype=float,
-        )
+        return self._rates_vec.copy()
 
     def estimated_comm_costs(self) -> np.ndarray:
         """Per-link communication estimates from observed dispatches (0 before any)."""
-        return np.array(
-            [self._comm_estimates.get(p) for p in range(self.n_processors)], dtype=float
-        )
+        return self._comm_vec.copy()
 
     def build_context(self, time: float) -> SchedulingContext:
         """The snapshot handed to the scheduling policy (identical for all policies).
@@ -206,13 +209,10 @@ class Master:
             offline = sorted(self._offline)
             rates[offline] = OFFLINE_RATE
             loads[offline] = OFFLINE_LOAD
-        return SchedulingContext(
-            time=time,
-            rates=rates,
-            pending_loads=loads,
-            comm_costs=comm_costs,
-            rng=self._rng,
-        )
+        # The master's arrays already satisfy every context invariant (float64,
+        # matching shapes, positive rates, non-negative loads/costs), so skip
+        # the validating constructor on this per-invocation path.
+        return SchedulingContext.trusted(time, rates, loads, comm_costs, self._rng)
 
     # -- scheduling ------------------------------------------------------------------------
     def run_scheduler_once(self, time: float) -> Optional[ScheduleAssignment]:
@@ -253,8 +253,8 @@ class Master:
         est_rates = (
             np.maximum(self.estimated_rates(), 1e-12) if self._offline else None
         )
-        for proc in range(self.n_processors):
-            for task_id in assignment.queue(proc):
+        for proc, queue in enumerate(assignment.iter_queues()):
+            for task_id in queue:
                 task = by_id[task_id]
                 target = proc
                 if proc in self._offline:
@@ -281,8 +281,6 @@ class Master:
 
         Returns the number of tasks assigned by this call.
         """
-        from ..schedulers.base import SchedulerMode
-
         assigned = 0
         immediate = self.scheduler.mode is SchedulerMode.IMMEDIATE
         online = self.online_processors()
@@ -322,7 +320,7 @@ class Master:
     def observe_dispatch(self, proc: int, comm_cost: float, time: float) -> None:
         """Record a measured dispatch cost (updates Γ estimates and notifies the policy)."""
         self._check_proc(proc)
-        self._comm_estimates.update(proc, float(comm_cost))
+        self._comm_vec[proc] = self._comm_estimates.update(proc, float(comm_cost))
         self.scheduler.observe_communication(proc, comm_cost, time)
 
     def observe_completion(
@@ -332,7 +330,9 @@ class Master:
         self._check_proc(proc)
         self.pending_loads[proc] = max(0.0, self.pending_loads[proc] - task.size_mflops)
         if processing_time > 0:
-            self._rate_estimates.update(proc, task.size_mflops / processing_time)
+            self._rates_vec[proc] = self._rate_estimates.update(
+                proc, task.size_mflops / processing_time
+            )
         self.scheduler.observe_completion(proc, task, processing_time, time)
 
     def _check_proc(self, proc: int) -> None:

@@ -153,8 +153,7 @@ def compute_metrics(
         Optional fault-injection accounting (failures, re-queues, downtime)
         attached verbatim to the result; defaults to all-zero stats.
     """
-    records = trace.records
-    if not records:
+    if not len(trace):
         raise SimulationError("cannot compute metrics for an empty trace")
     m = trace.n_processors
     completion = trace.completion_time()
@@ -166,10 +165,7 @@ def compute_metrics(
     comm = trace.comm_seconds()
     counts = trace.tasks_per_processor()
     idle = np.maximum(makespan - busy - comm, 0.0)
-
-    mflops_per_proc = np.zeros(m, dtype=float)
-    for record in records:
-        mflops_per_proc[record.proc_id] += record.size_mflops
+    mflops_per_proc = trace.mflops_per_processor()
 
     per_processor = [
         ProcessorStats(
@@ -192,8 +188,12 @@ def compute_metrics(
         total_idle_seconds=float(idle.sum()),
         tasks_completed=int(counts.sum()),
         total_mflops=float(mflops_per_proc.sum()),
-        mean_response_time=float(np.mean([r.response_time for r in records])),
-        mean_queue_wait=float(np.mean([r.queue_wait for r in records])),
+        mean_response_time=float(
+            np.mean(trace.column("exec_end") - trace.column("arrival_time"))
+        ),
+        mean_queue_wait=float(
+            np.mean(trace.column("dispatch_time") - trace.column("assigned_time"))
+        ),
         per_processor=per_processor,
         dynamics=dynamics or DynamicsStats(),
     )

@@ -42,14 +42,17 @@ from ..schedulers.base import Scheduler
 from ..util.errors import SimulationError
 from ..util.rng import RNGLike, spawn_rngs
 from ..workloads.task import Task, TaskSet
+from ..util.buffers import RecordBuffer
 from .engine import DiscreteEventEngine
 from .events import Event, EventKind
+from .fastpath import is_static, run_static_replay
 from .master import Master
 from .metrics import DynamicsStats, SimulationMetrics, compute_metrics
-from .trace import ExecutionTrace, TaskRecord
+from .trace import ExecutionTrace
 from .worker import WorkerState
 
 __all__ = [
+    "SIM_BACKENDS",
     "SimulationConfig",
     "SimulationResult",
     "DynamicsTimelineLike",
@@ -76,6 +79,10 @@ class DynamicsTimelineLike(Protocol):
         ...
 
 
+#: Valid values of :attr:`SimulationConfig.sim_backend`.
+SIM_BACKENDS = ("event", "fast")
+
+
 @dataclass
 class SimulationConfig:
     """Knobs of the simulated environment (not of any particular scheduler)."""
@@ -88,6 +95,19 @@ class SimulationConfig:
     max_events: int = 10_000_000
     #: Optional simulated-time horizon; ``None`` runs to completion.
     time_horizon: Optional[float] = None
+    #: Simulation core: ``"fast"`` (default) replays static simulations
+    #: through the batched :mod:`repro.sim.fastpath` backend (bit-identical
+    #: to the event engine; runs with cluster dynamics fall back to the
+    #: event loop automatically), ``"event"`` always pumps the
+    #: discrete-event engine.
+    sim_backend: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.sim_backend not in SIM_BACKENDS:
+            raise SimulationError(
+                f"unknown sim_backend {self.sim_backend!r}; "
+                f"expected one of {list(SIM_BACKENDS)}"
+            )
 
 
 @dataclass
@@ -160,7 +180,9 @@ class DistributedSystemSimulation:
         self._completed = 0
         self._scheduler_invocation_pending = False
         self._completion_events: Dict[int, Event] = {}
-        self._queue_samples: List[Tuple[float, int, int]] = []
+        self._queue_samples = RecordBuffer(
+            (("time", float), ("unscheduled", int), ("queued", int))
+        )
         self._counts = {"failures": 0, "recoveries": 0, "joins": 0}
         self._injected = 0
 
@@ -197,9 +219,7 @@ class DistributedSystemSimulation:
             self.engine.schedule(time, EventKind.INVOKE_SCHEDULER)
 
     def _sample_queues(self, time: float) -> None:
-        self._queue_samples.append(
-            (float(time), self.master.n_unscheduled, self.master.n_queued_total)
-        )
+        self._queue_samples.append(time, self.master.n_unscheduled, self.master.n_queued_total)
 
     def _on_invoke_scheduler(self, event: Event) -> None:
         self._scheduler_invocation_pending = False
@@ -254,17 +274,15 @@ class DistributedSystemSimulation:
         exec_seconds = event.time - exec_start
         worker.record_execution(exec_seconds)
         self.master.observe_completion(proc, task, exec_seconds, event.time)
-        self.trace.add(
-            TaskRecord(
-                task_id=task.task_id,
-                proc_id=proc,
-                size_mflops=task.size_mflops,
-                arrival_time=task.arrival_time,
-                assigned_time=self.master.assigned_time_of(task.task_id),
-                dispatch_time=dispatch_time,
-                exec_start=exec_start,
-                exec_end=event.time,
-            )
+        self.trace.add_record(
+            task.task_id,
+            proc,
+            task.size_mflops,
+            task.arrival_time,
+            self.master.assigned_time_of(task.task_id),
+            dispatch_time,
+            exec_start,
+            event.time,
         )
         self._completed += 1
         # Fetch the next task (or trigger another scheduling round).
@@ -324,9 +342,12 @@ class DistributedSystemSimulation:
             self._request_scheduling(event.time)
 
     # -- run -------------------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Execute the simulation to completion and return metrics plus trace."""
-        self.scheduler.reset()
+    def uses_fast_path(self) -> bool:
+        """Whether :meth:`run` will take the batched static-replay backend."""
+        return self.config.sim_backend == "fast" and is_static(self)
+
+    def _run_event_driven(self) -> Tuple[float, int]:
+        """Pump the discrete-event engine; returns (end time, events processed)."""
         for task in self.tasks:
             self.engine.schedule(task.arrival_time, EventKind.TASK_ARRIVAL, task=task)
         if self._dynamics is not None:
@@ -335,7 +356,16 @@ class DistributedSystemSimulation:
                 next_task_id=next_task_id, rng=self._dynamics_rng
             ):
                 self.engine.schedule(time, kind, **data)
-        self.engine.run(until=self.config.time_horizon)
+        end_time = self.engine.run(until=self.config.time_horizon)
+        return end_time, self.engine.processed_events
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion and return metrics plus trace."""
+        self.scheduler.reset()
+        if self.uses_fast_path():
+            end_time, events_processed = run_static_replay(self)
+        else:
+            end_time, events_processed = self._run_event_driven()
 
         expected = len(self.tasks) + self._injected
         if self.config.time_horizon is None and self._completed != expected:
@@ -343,7 +373,7 @@ class DistributedSystemSimulation:
                 f"simulation finished with {self._completed}/{expected} tasks completed"
             )
         for worker in self.workers:
-            worker.finalise_downtime(self.engine.now)
+            worker.finalise_downtime(end_time)
         dynamics_stats = DynamicsStats(
             tasks_rescheduled=self.master.tasks_rescheduled,
             tasks_reclaimed=self.master.tasks_reclaimed,
@@ -355,7 +385,14 @@ class DistributedSystemSimulation:
             worker_downtime_seconds=float(
                 sum(worker.downtime_seconds for worker in self.workers)
             ),
-            queue_length_trajectory=tuple(self._queue_samples),
+            queue_length_trajectory=tuple(
+                (float(t), int(unscheduled), int(queued))
+                for t, unscheduled, queued in zip(
+                    self._queue_samples.column("time"),
+                    self._queue_samples.column("unscheduled"),
+                    self._queue_samples.column("queued"),
+                )
+            ),
         )
         metrics = compute_metrics(self.trace, dynamics=dynamics_stats)
         return SimulationResult(
@@ -367,7 +404,7 @@ class DistributedSystemSimulation:
             n_tasks=len(self.tasks),
             n_processors=self.cluster.n_processors,
             tasks_injected=self._injected,
-            events_processed=self.engine.processed_events,
+            events_processed=events_processed,
         )
 
 

@@ -1,0 +1,129 @@
+"""Preallocated, growable numpy record buffers for simulation hot paths.
+
+The simulator used to accumulate per-event observations (task records, queue
+samples) in Python lists of objects/tuples and convert them on demand.  A
+:class:`RecordBuffer` replaces that with one preallocated numpy array per
+column, grown geometrically, so appends stay O(1) amortised, memory is
+columnar, and downstream statistics can be computed with vectorised numpy
+instead of per-record Python loops.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .errors import ConfigurationError
+
+__all__ = ["RecordBuffer"]
+
+#: Default initial capacity of each column (rows).
+_INITIAL_CAPACITY = 64
+
+
+class RecordBuffer:
+    """A growable, columnar buffer of fixed-width numeric records.
+
+    Parameters
+    ----------
+    fields:
+        ``(name, dtype)`` pairs, one per column.
+    capacity:
+        Initial number of preallocated rows (grown by doubling when full).
+
+    Appending is positional (:meth:`append` takes one scalar per column, in
+    declaration order); reads go through :meth:`column`, which returns a
+    read-only view of the filled prefix — no copy, no Python objects.
+    """
+
+    __slots__ = ("_names", "_columns", "_size", "_capacity")
+
+    def __init__(
+        self, fields: Sequence[Tuple[str, object]], capacity: int = _INITIAL_CAPACITY
+    ) -> None:
+        if not fields:
+            raise ConfigurationError("a record buffer needs at least one field")
+        names = [name for name, _ in fields]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate field names in record buffer: {names}")
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self._names = tuple(names)
+        self._capacity = int(capacity)
+        self._columns: Dict[str, np.ndarray] = {
+            name: np.empty(self._capacity, dtype=dtype) for name, dtype in fields
+        }
+        self._size = 0
+
+    # -- sizing -------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def capacity(self) -> int:
+        """Currently allocated rows (>= ``len(self)``)."""
+        return self._capacity
+
+    @property
+    def fields(self) -> Tuple[str, ...]:
+        """Column names in declaration (and append) order."""
+        return self._names
+
+    def _grow(self, minimum: int) -> None:
+        new_capacity = max(self._capacity * 2, minimum)
+        for name, column in self._columns.items():
+            grown = np.empty(new_capacity, dtype=column.dtype)
+            grown[: self._size] = column[: self._size]
+            self._columns[name] = grown
+        self._capacity = new_capacity
+
+    # -- writes -------------------------------------------------------------------
+    def append(self, *values) -> None:
+        """Append one record (one scalar per column, in field order)."""
+        size = self._size
+        if size == self._capacity:
+            self._grow(size + 1)
+        for name, value in zip(self._names, values, strict=True):
+            self._columns[name][size] = value
+        self._size = size + 1
+
+    def extend(self, **arrays) -> None:
+        """Bulk-append equal-length arrays (one keyword per column)."""
+        lengths = {len(np.atleast_1d(a)) for a in arrays.values()}
+        if len(lengths) != 1:
+            raise ConfigurationError(f"extend requires equal-length columns, got {lengths}")
+        n = lengths.pop()
+        if set(arrays) != set(self._names):
+            raise ConfigurationError(
+                f"extend requires exactly the fields {self._names}, got {sorted(arrays)}"
+            )
+        if self._size + n > self._capacity:
+            self._grow(self._size + n)
+        for name, values in arrays.items():
+            self._columns[name][self._size : self._size + n] = values
+        self._size += n
+
+    # -- reads --------------------------------------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """Read-only view of one column's filled prefix (no copy)."""
+        try:
+            column = self._columns[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown record buffer field {name!r}; expected one of {self._names}"
+            ) from None
+        view = column[: self._size]
+        view.flags.writeable = False
+        return view
+
+    def row(self, index: int) -> Tuple:
+        """One record as a tuple of Python scalars (for spot reads)."""
+        if not (-self._size <= index < self._size):
+            raise IndexError(f"record index {index} out of range for size {self._size}")
+        if index < 0:
+            index += self._size  # relative to the filled prefix, not capacity
+        return tuple(self._columns[name][index].item() for name in self._names)

@@ -31,6 +31,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig5", "--scale", "enormous"])
 
+    def test_sim_backend_option_parses(self):
+        args = build_parser().parse_args(["fig5", "--sim-backend", "event"])
+        assert args.sim_backend == "event"
+        args = build_parser().parse_args(["compare", "--sim-backend", "fast"])
+        assert args.sim_backend == "fast"
+
+    def test_invalid_sim_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--sim-backend", "warp"])
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -63,6 +73,30 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "PN" in out and "makespan_mean" in out
+
+    def test_compare_backends_print_identical_tables(self, capsys):
+        outputs = {}
+        for backend in ("event", "fast"):
+            code = main(
+                [
+                    "compare",
+                    "--scale",
+                    "smoke",
+                    "--seed",
+                    "1",
+                    "--workload",
+                    "uniform_narrow",
+                    "--comm-cost",
+                    "2.0",
+                    "--tasks",
+                    "20",
+                    "--sim-backend",
+                    backend,
+                ]
+            )
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["event"] == outputs["fast"]
 
     def test_figure4_smoke(self, capsys):
         assert main(["fig4", "--scale", "smoke", "--seed", "2"]) == 0

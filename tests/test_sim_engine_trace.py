@@ -1,6 +1,8 @@
 """Tests for the event queue, discrete-event engine, traces and metrics."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import (
     DiscreteEventEngine,
@@ -129,6 +131,109 @@ class TestDiscreteEventEngine:
             engine.schedule(t, EventKind.TASK_ARRIVAL)
         engine.run(until=10.0)
         assert seen == [1.0, 2.0]
+
+
+class TestCancellation:
+    def test_peek_skips_cancelled_head(self):
+        # Regression: peek() must apply the same tombstone skipping as pop(),
+        # otherwise a cancelled head event masks the next live one.
+        engine = DiscreteEventEngine()
+        engine.register(EventKind.TASK_ARRIVAL, lambda e: None)
+        doomed = engine.schedule(1.0, EventKind.TASK_ARRIVAL)
+        live = engine.schedule(2.0, EventKind.TASK_ARRIVAL)
+        engine.cancel(doomed)
+        peeked = engine.queue.peek()
+        assert peeked.seq == live.seq
+        assert peeked.time == 2.0
+        assert engine.queue.pop().seq == live.seq
+
+    def test_cancel_then_peek_preserves_run_until_semantics(self):
+        # A cancelled event beyond the horizon must not stop the run early,
+        # and a cancelled event before it must not extend it.
+        engine = DiscreteEventEngine()
+        seen = []
+        engine.register(EventKind.TASK_ARRIVAL, lambda e: seen.append(e.time))
+        engine.schedule(1.0, EventKind.TASK_ARRIVAL)
+        doomed = engine.schedule(2.0, EventKind.TASK_ARRIVAL)
+        engine.schedule(3.0, EventKind.TASK_ARRIVAL)
+        engine.cancel(doomed)
+        engine.run(until=10.0)
+        assert seen == [1.0, 3.0]
+        assert engine.processed_events == 2
+
+    def test_len_and_bool_ignore_tombstones(self):
+        engine = DiscreteEventEngine()
+        engine.register(EventKind.TASK_ARRIVAL, lambda e: None)
+        only = engine.schedule(1.0, EventKind.TASK_ARRIVAL)
+        engine.cancel(only)
+        assert len(engine.queue) == 0
+        assert not engine.queue
+
+    def test_len_counts_out_non_head_tombstones(self):
+        engine = DiscreteEventEngine()
+        engine.register(EventKind.TASK_ARRIVAL, lambda e: None)
+        engine.schedule(1.0, EventKind.TASK_ARRIVAL)
+        doomed = engine.schedule(2.0, EventKind.TASK_ARRIVAL)
+        engine.cancel(doomed)
+        assert len(engine.queue) == 1  # the cancelled tail event is not live
+
+    def test_stale_cancel_is_harmless_and_pruned(self):
+        engine = DiscreteEventEngine()
+        seen = []
+        engine.register(EventKind.TASK_ARRIVAL, lambda e: seen.append(e.time))
+        done = engine.schedule(1.0, EventKind.TASK_ARRIVAL)
+        engine.run()
+        engine.cancel(done)  # already processed: must not affect anything
+        engine.cancel(done)
+        live = engine.schedule(2.0, EventKind.TASK_ARRIVAL)
+        assert len(engine.queue) == 1  # prunes the stale tombstone
+        assert engine.queue._tombstones == set()
+        assert engine.queue.pop().seq == live.seq
+
+    def test_cancel_all_leaves_empty_queue(self):
+        engine = DiscreteEventEngine()
+        engine.register(EventKind.TASK_ARRIVAL, lambda e: None)
+        events = [engine.schedule(float(t), EventKind.TASK_ARRIVAL) for t in range(5)]
+        for event in events:
+            engine.cancel(event)
+        assert engine.run() == 0.0
+        assert engine.processed_events == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.floats(0.0, 100.0, allow_nan=False, width=32),
+                st.booleans(),  # cancel an (arbitrary) earlier event first?
+                st.integers(0, 10**6),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_order_deterministic_under_schedule_cancel(self, ops):
+        """Two engines fed the same interleaved schedule/cancel sequence
+        process exactly the same events in exactly the same order."""
+
+        def drive(engine):
+            processed = []
+            engine.register(
+                EventKind.TASK_ARRIVAL, lambda e: processed.append((e.time, e.seq))
+            )
+            scheduled = []
+            for time, cancel_first, pick in ops:
+                if cancel_first and scheduled:
+                    engine.cancel(scheduled[pick % len(scheduled)])
+                scheduled.append(engine.schedule(time, EventKind.TASK_ARRIVAL))
+            engine.run()
+            return processed
+
+        first = drive(DiscreteEventEngine())
+        second = drive(DiscreteEventEngine())
+        assert first == second
+        # Processed events are in strict (time, seq) order and unique.
+        assert first == sorted(first)
+        assert len(set(first)) == len(first)
 
 
 def record(

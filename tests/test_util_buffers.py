@@ -1,0 +1,115 @@
+"""Tests for the growable columnar record buffers (`repro.util.buffers`)."""
+
+import numpy as np
+import pytest
+
+from repro.util.buffers import RecordBuffer
+from repro.util.errors import ConfigurationError
+
+
+def make_buffer(capacity=4):
+    return RecordBuffer((("t", np.float64), ("count", np.int64)), capacity=capacity)
+
+
+class TestConstruction:
+    def test_requires_fields(self):
+        with pytest.raises(ConfigurationError):
+            RecordBuffer(())
+
+    def test_rejects_duplicate_fields(self):
+        with pytest.raises(ConfigurationError):
+            RecordBuffer((("a", float), ("a", float)))
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            make_buffer(capacity=0)
+
+    def test_reports_fields_in_order(self):
+        assert make_buffer().fields == ("t", "count")
+
+
+class TestAppendAndGrow:
+    def test_append_and_read_back(self):
+        buffer = make_buffer()
+        buffer.append(1.5, 3)
+        buffer.append(2.5, 4)
+        assert len(buffer) == 2
+        assert buffer.column("t").tolist() == [1.5, 2.5]
+        assert buffer.column("count").tolist() == [3, 4]
+
+    def test_grows_past_initial_capacity(self):
+        buffer = make_buffer(capacity=2)
+        for i in range(9):
+            buffer.append(float(i), i)
+        assert len(buffer) == 9
+        assert buffer.capacity >= 9
+        assert buffer.column("count").tolist() == list(range(9))
+
+    def test_bool_reflects_content(self):
+        buffer = make_buffer()
+        assert not buffer
+        buffer.append(0.0, 0)
+        assert buffer
+
+    def test_row_returns_python_scalars(self):
+        buffer = make_buffer()
+        buffer.append(1.5, 3)
+        row = buffer.row(0)
+        assert row == (1.5, 3)
+        assert isinstance(row[0], float) and isinstance(row[1], int)
+
+    def test_row_supports_negative_index_and_bounds(self):
+        buffer = make_buffer()
+        buffer.append(1.0, 1)
+        buffer.append(2.0, 2)
+        assert buffer.row(-1) == (2.0, 2)
+        with pytest.raises(IndexError):
+            buffer.row(2)
+
+
+class TestExtend:
+    def test_bulk_extend_matches_appends(self):
+        one, other = make_buffer(), make_buffer()
+        values = [(float(i) / 3, i) for i in range(20)]
+        for t, count in values:
+            one.append(t, count)
+        other.extend(
+            t=np.array([v[0] for v in values]),
+            count=np.array([v[1] for v in values]),
+        )
+        np.testing.assert_array_equal(one.column("t"), other.column("t"))
+        np.testing.assert_array_equal(one.column("count"), other.column("count"))
+
+    def test_extend_grows(self):
+        buffer = make_buffer(capacity=2)
+        buffer.extend(t=np.arange(10, dtype=float), count=np.arange(10))
+        assert len(buffer) == 10
+
+    def test_extend_requires_matching_fields(self):
+        with pytest.raises(ConfigurationError):
+            make_buffer().extend(t=np.array([1.0]))
+
+    def test_extend_requires_equal_lengths(self):
+        with pytest.raises(ConfigurationError):
+            make_buffer().extend(t=np.array([1.0]), count=np.array([1, 2]))
+
+
+class TestColumnViews:
+    def test_columns_are_read_only_views(self):
+        buffer = make_buffer()
+        buffer.append(1.0, 1)
+        view = buffer.column("t")
+        with pytest.raises(ValueError):
+            view[0] = 9.0
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_buffer().column("nope")
+
+    def test_view_is_a_snapshot_prefix(self):
+        buffer = make_buffer()
+        buffer.append(1.0, 1)
+        view = buffer.column("t")
+        buffer.append(2.0, 2)
+        assert view.tolist() == [1.0]
+        assert buffer.column("t").tolist() == [1.0, 2.0]
