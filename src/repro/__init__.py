@@ -20,7 +20,11 @@ The package provides:
   repeats across worker processes with deterministic, bit-identical results;
 * :mod:`repro.scenarios` — declarative cluster-dynamics scenarios (worker
   failure/recovery/join, load spikes), a named scenario library, and the
-  sharded scenario-matrix runner.
+  sharded scenario-matrix runner;
+* :mod:`repro.campaigns` — durable experiment campaigns: a
+  content-addressed result store, declarative campaign specs composing
+  figures / scenario matrices / GA sweeps, and a resumable runner that
+  checkpoints after every completed cell.
 
 Quickstart
 ----------
@@ -36,6 +40,12 @@ Quickstart
 True
 """
 
+from .campaigns import (
+    CampaignSpec,
+    ResultStore,
+    SweepSpec,
+    run_campaign,
+)
 from .cluster import (
     Cluster,
     CommLink,
@@ -56,6 +66,7 @@ from .core import (
 )
 from .ga import BatchProblem, GAConfig, GAResult, GeneticAlgorithm
 from .parallel import (
+    AsyncWorkStealingExecutor,
     ExperimentExecutor,
     ParallelExecutor,
     SerialExecutor,
@@ -159,6 +170,7 @@ __all__ = [
     "ExperimentExecutor",
     "SerialExecutor",
     "ParallelExecutor",
+    "AsyncWorkStealingExecutor",
     "executor_from_jobs",
     # sim
     "SimulationConfig",
@@ -176,4 +188,9 @@ __all__ = [
     "scenario_names",
     "get_scenario",
     "run_scenario_matrix",
+    # campaigns
+    "CampaignSpec",
+    "SweepSpec",
+    "ResultStore",
+    "run_campaign",
 ]

@@ -9,12 +9,18 @@ Usage examples::
     python -m repro.cli fig6 --scale medium --jobs 4
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run failure-storm --scale smoke --jobs 2
+    python -m repro.cli campaigns run --store results/store --name nightly \\
+        --figures fig5 fig6 --scenarios failure-storm --scale small --jobs 4
+    python -m repro.cli campaigns status --store results/store nightly
+    python -m repro.cli campaigns resume --store results/store nightly
 
 ``--jobs N`` shards the independent repeats of an experiment (or the cells
-of a scenario matrix) across ``N`` worker processes (see
-:mod:`repro.parallel`); all stochastic results are bit-identical to a serial
-run with the same seed (only measured wall-clock values, e.g. fig4's
-seconds, vary with contention).
+of a scenario matrix / campaign) across ``N`` worker processes (see
+:mod:`repro.parallel`); ``--executor async`` swaps in the work-stealing
+pool.  All stochastic results are bit-identical to a serial run with the
+same seed (only measured wall-clock values, e.g. fig4's seconds, vary with
+contention).  Campaigns persist every completed cell to a content-addressed
+store, so re-runs and resumes only compute the missing delta.
 """
 
 from __future__ import annotations
@@ -24,6 +30,13 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from .campaigns import (
+    CampaignSpec,
+    ResultStore,
+    SweepSpec,
+    load_manifest,
+    run_campaign,
+)
 from .experiments.config import SCALES, get_scale
 from .experiments.figures import FIGURES, list_figures, run_figure
 from .experiments.reporting import (
@@ -35,11 +48,11 @@ from .experiments.reporting import (
 from .experiments.runner import compare_schedulers
 from .ga.kernels import BACKEND_NAMES
 from .io.results import save_scenario_matrix_json
-from .parallel import executor_from_jobs
+from .parallel import EXECUTOR_KINDS, executor_from_jobs
 from .scenarios import make_all_scenarios, run_scenario_matrix, scenario_names
 from .schedulers.registry import ALL_SCHEDULER_NAMES
 from .sim.simulation import SIM_BACKENDS
-from .util.errors import ReproError
+from .util.errors import ExperimentInterrupted, ReproError
 from .workloads.suites import paper_workloads, workload_by_name
 
 __all__ = ["build_parser", "main"]
@@ -132,7 +145,112 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the aggregate matrix as JSON to this path",
     )
+
+    camp_parser = sub.add_parser(
+        "campaigns",
+        help="durable, resumable experiment campaigns over a content-addressed store",
+    )
+    camp_sub = camp_parser.add_subparsers(dest="campaign_command", required=True)
+    camp_run = camp_sub.add_parser(
+        "run", help="run a campaign (cells already in the store are skipped)"
+    )
+    _add_campaign_store_option(camp_run)
+    camp_run.add_argument(
+        "--name",
+        default="default",
+        help="campaign name (manifest id inside the store; default: 'default')",
+    )
+    camp_run.add_argument(
+        "--figures",
+        nargs="+",
+        default=None,
+        metavar="FIG",
+        choices=list(FIGURES),
+        help="figure ids to include (e.g. fig5 fig6)",
+    )
+    camp_run.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="SCENARIO",
+        help=f"scenario names to include: {', '.join(scenario_names())}",
+    )
+    camp_run.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        choices=ALL_SCHEDULER_NAMES,
+        help="scheduler subset for the scenario matrix (default: each scenario's set)",
+    )
+    camp_run.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="scenario-matrix repeats per (scenario, scheduler) cell",
+    )
+    camp_run.add_argument(
+        "--sweep",
+        nargs="+",
+        default=None,
+        metavar=("PARAMETER", "VALUE"),
+        help="GA parameter sweep: a GAConfig field name followed by its values "
+        "(e.g. --sweep n_rebalances 0 1 5)",
+    )
+    camp_run.add_argument(
+        "--sweep-repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="GA runs per swept value (default: the scale preset's repeat "
+        "count; independent of the scenario-matrix --repeats)",
+    )
+    _add_common_options(camp_run)
+    _add_campaign_run_options(camp_run)
+    camp_status = camp_sub.add_parser(
+        "status", help="show a campaign manifest (cells, timings, aggregates)"
+    )
+    _add_campaign_store_option(camp_status)
+    camp_status.add_argument(
+        "name", nargs="?", default=None, help="campaign name (default: list campaigns)"
+    )
+    camp_resume = camp_sub.add_parser(
+        "resume", help="resume an interrupted campaign from its manifest"
+    )
+    _add_campaign_store_option(camp_resume)
+    camp_resume.add_argument("name", help="campaign name to resume")
+    camp_resume.add_argument(
+        "--jobs", type=int, default=None, metavar="N", help="worker processes"
+    )
+    camp_resume.add_argument(
+        "--executor",
+        default=None,
+        choices=sorted(EXECUTOR_KINDS),
+        help="executor family for the resumed cells",
+    )
+    _add_campaign_run_options(camp_resume)
     return parser
+
+
+def _add_campaign_store_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        required=True,
+        metavar="DIR",
+        help="result-store directory (created if missing)",
+    )
+
+
+def _add_campaign_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="K",
+        help="stop after K computed cells (simulated interruption; the run "
+        "exits with code 3 and can be resumed)",
+    )
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -153,6 +271,17 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
             "(default: the scale preset's jobs setting, i.e. serial; "
             "0 = one per CPU core); stochastic aggregates are identical "
             "for any value, only measured wall-clock values vary"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=sorted(EXECUTOR_KINDS),
+        help=(
+            "executor family when --jobs > 1: 'process' shards jobs over a "
+            "chunked process pool (default), 'async' over the work-stealing "
+            "pool (better with uneven cell costs), 'serial' forces "
+            "in-process execution; aggregates are bit-identical either way"
         ),
     )
     parser.add_argument(
@@ -179,14 +308,22 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _normalize_jobs(jobs: Optional[int]) -> Optional[int]:
+    """The CLI's ``--jobs`` convention: ``0`` means one worker per CPU core."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
 def _scale_from_args(args: argparse.Namespace):
     """The selected scale preset, with ``--jobs`` / ``--ga-backend`` applied."""
     scale = get_scale(args.scale)
-    jobs = getattr(args, "jobs", None)
+    jobs = _normalize_jobs(getattr(args, "jobs", None))
     if jobs is not None:
-        if jobs == 0:
-            jobs = os.cpu_count() or 1
         scale = scale.scaled(jobs=jobs)
+    executor_kind = getattr(args, "executor", None)
+    if executor_kind is not None:
+        scale = scale.scaled(executor=executor_kind)
     ga_backend = getattr(args, "ga_backend", None)
     if ga_backend is not None:
         scale = scale.scaled(ga_backend=ga_backend)
@@ -215,7 +352,7 @@ def _cmd_list() -> int:
 
 def _cmd_figure(figure_id: str, args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
-    executor = executor_from_jobs(scale.jobs)
+    executor = executor_from_jobs(scale.jobs, scale.executor)
     try:
         result = run_figure(figure_id, scale=scale, seed=args.seed, executor=executor)
     finally:
@@ -227,7 +364,7 @@ def _cmd_figure(figure_id: str, args: argparse.Namespace) -> int:
 def _cmd_all(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     # One executor (and hence one worker pool) shared by all nine figures.
-    executor = executor_from_jobs(scale.jobs)
+    executor = executor_from_jobs(scale.jobs, scale.executor)
     results = []
     try:
         for figure_id in list_figures():
@@ -251,7 +388,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
     n_tasks = args.tasks or scale.n_tasks
     spec = workload_by_name(args.workload, n_tasks)
-    executor = executor_from_jobs(scale.jobs)
+    executor = executor_from_jobs(scale.jobs, scale.executor)
     try:
         comparison = compare_schedulers(
             spec,
@@ -286,7 +423,7 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     scale = _scale_from_args(args)
-    executor = executor_from_jobs(scale.jobs)
+    executor = executor_from_jobs(scale.jobs, scale.executor)
     try:
         result = run_scenario_matrix(
             args.names,
@@ -310,6 +447,128 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sweep_value(raw: str):
+    """Parse one swept value: int when integral, else float, else string."""
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    sweeps = ()
+    if args.sweep:
+        if len(args.sweep) < 2:
+            raise ReproError(
+                "--sweep needs a GAConfig field name followed by at least one value"
+            )
+        sweeps = (
+            SweepSpec(
+                parameter=args.sweep[0],
+                values=tuple(_parse_sweep_value(v) for v in args.sweep[1:]),
+                repeats=args.sweep_repeats,
+            ),
+        )
+    return CampaignSpec(
+        name=args.name,
+        scale=args.scale,
+        seed=args.seed,
+        figures=tuple(args.figures or ()),
+        scenarios=tuple(args.scenarios or ()),
+        schedulers=tuple(args.schedulers) if args.schedulers else None,
+        repeats=args.repeats,
+        sweeps=sweeps,
+        ga_backend=args.ga_backend,
+        sim_backend=args.sim_backend,
+    )
+
+
+def _print_campaign_result(result) -> None:
+    status = "interrupted" if result.interrupted else "complete"
+    print(
+        f"campaign {result.name!r}: {status} — "
+        f"{result.computed} computed, {result.cached} cached, "
+        f"{result.total_cells} total cells (executor={result.executor})"
+    )
+    if result.interrupted:
+        print(
+            f"  reason: {result.interrupt_reason}; resume with "
+            f"`repro-scheduler campaigns resume --store <store> {result.name}`"
+        )
+    print(f"  manifest: {result.manifest_path}")
+
+
+def _run_campaign_from_spec(spec: CampaignSpec, store: ResultStore, args) -> int:
+    jobs = _normalize_jobs(getattr(args, "jobs", None))
+    result = run_campaign(
+        spec,
+        store,
+        jobs=jobs,
+        executor_kind=getattr(args, "executor", None),
+        max_cells=getattr(args, "max_cells", None),
+    )
+    _print_campaign_result(result)
+    return 3 if result.interrupted else 0
+
+
+def _cmd_campaigns_run(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    spec = _campaign_spec_from_args(args)
+    return _run_campaign_from_spec(spec, store, args)
+
+
+def _cmd_campaigns_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    manifest = load_manifest(store, args.name)
+    spec = CampaignSpec.from_dict(manifest["spec"])
+    return _run_campaign_from_spec(spec, store, args)
+
+
+def _manifest_state(manifest) -> str:
+    if manifest["interrupted"]:
+        return "interrupted"
+    return "complete" if manifest.get("aggregates") else "partial"
+
+
+def _cmd_campaigns_status(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.name is None:
+        names = store.manifest_names()
+        print(f"store {store.root}: {len(store)} records ({store.stats() or 'empty'})")
+        if names:
+            print("campaigns:")
+            for name in names:
+                manifest = load_manifest(store, name)
+                state = _manifest_state(manifest)
+                print(
+                    f"  {name}: {state}, {manifest['completed_cells']}"
+                    f"/{manifest['total_cells']} cells"
+                )
+        else:
+            print("campaigns: none")
+        return 0
+    manifest = load_manifest(store, args.name)
+    state = _manifest_state(manifest)
+    print(
+        f"campaign {args.name!r}: {state} — "
+        f"{manifest['completed_cells']}/{manifest['total_cells']} cells "
+        f"({manifest['computed_cells']} computed, {manifest['cached_cells']} cached; "
+        f"executor={manifest['executor']})"
+    )
+    for entry in manifest["cells"]:
+        elapsed = entry.get("elapsed_seconds")
+        timing = f"  {elapsed:.3f}s" if isinstance(elapsed, (int, float)) else ""
+        print(f"  [{entry['status']:8s}] {entry['cell_id']}{timing}")
+    if manifest.get("aggregates"):
+        sections = ", ".join(sorted(manifest["aggregates"]))
+        print(f"aggregates: {sections} (see {store.manifest_path(args.name)})")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -325,7 +584,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.scenario_command == "list":
                 return _cmd_scenarios_list(args)
             return _cmd_scenarios_run(args)
+        if args.command == "campaigns":
+            if args.campaign_command == "status":
+                return _cmd_campaigns_status(args)
+            if args.campaign_command == "resume":
+                return _cmd_campaigns_resume(args)
+            return _cmd_campaigns_run(args)
         return _cmd_figure(args.command, args)
+    except ExperimentInterrupted as exc:
+        # Ctrl-C mid-map: the executors already terminated their workers.
+        # 130 is the conventional SIGINT exit code, distinct from 2
+        # (configuration errors) and 3 (resumable campaign interruption).
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

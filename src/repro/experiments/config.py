@@ -16,6 +16,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Sequence
 
 from ..ga.kernels import BACKEND_NAMES
+from ..parallel.executor import EXECUTOR_KINDS
 from ..sim.simulation import SIM_BACKENDS
 from ..util.errors import ConfigurationError
 from ..util.validation import require_positive_int
@@ -56,6 +57,13 @@ class ExperimentScale:
         / figure conditions); ``1`` runs everything serially in-process.
         Aggregates are bit-identical for any value — see
         :mod:`repro.parallel`.
+    executor:
+        Which executor family shards the work when ``jobs > 1``:
+        ``"process"`` (the chunked process pool, the default) or ``"async"``
+        (the work-stealing pool of
+        :mod:`repro.parallel.async_executor`); ``"serial"`` forces
+        in-process execution regardless of ``jobs``.  Aggregates are
+        bit-identical for any choice; CLI ``--executor`` overrides it.
     ga_backend:
         Kernel backend of every GA run in the experiment (``"vectorized"``
         whole-population NumPy kernels, the default, or ``"loop"`` — the
@@ -79,6 +87,7 @@ class ExperimentScale:
     bar_comm_cost_mean: float = 20.0
     convergence_generations: int = 100
     jobs: int = 1
+    executor: str = "process"
     ga_backend: str = "vectorized"
     sim_backend: str = "fast"
 
@@ -91,6 +100,11 @@ class ExperimentScale:
         require_positive_int(self.repeats, "repeats")
         require_positive_int(self.convergence_generations, "convergence_generations")
         require_positive_int(self.jobs, "jobs")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ConfigurationError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {list(EXECUTOR_KINDS)}"
+            )
         if self.ga_backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"unknown ga_backend {self.ga_backend!r}; expected one of {sorted(BACKEND_NAMES)}"

@@ -153,7 +153,7 @@ def figure3(
     """
     scale = scale or default_scale()
     rng = ensure_rng(seed)
-    executor = resolve_executor(executor, scale.jobs)
+    executor = resolve_executor(executor, scale.jobs, scale.executor)
     generations = scale.convergence_generations
     labels = {0: "pure GA", 1: "1 rebalance"}
     # Pair the comparison: every rebalance level sees the same batch problems
@@ -234,7 +234,7 @@ def figure4(
     """
     scale = scale or default_scale()
     rng = ensure_rng(seed)
-    executor = resolve_executor(executor, scale.jobs)
+    executor = resolve_executor(executor, scale.jobs, scale.executor)
     # Time every rebalance level on the same batch problems and GA seeds.
     problems = [_convergence_problem(scale, rng) for _ in range(scale.repeats)]
     ga_seeds = [int(rng.integers(0, 2**31 - 1)) for _ in range(scale.repeats)]
@@ -291,7 +291,7 @@ def _efficiency_sweep(
     executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
     rng = ensure_rng(seed)
-    executor = resolve_executor(executor, scale.jobs)
+    executor = resolve_executor(executor, scale.jobs, scale.executor)
     spec = workload_factory(scale.n_tasks)
     # Sweep from the largest mean cost (smallest 1/cost) to the smallest, so the
     # x axis is increasing like the paper's.
@@ -389,7 +389,7 @@ def _makespan_bars(
     executor: Optional[ExperimentExecutor] = None,
 ) -> FigureResult:
     rng = ensure_rng(seed)
-    executor = resolve_executor(executor, scale.jobs)
+    executor = resolve_executor(executor, scale.jobs, scale.executor)
     spec = workload_factory(scale.n_tasks_large)
     comparison = compare_schedulers(
         spec,

@@ -149,7 +149,7 @@ def compare_schedulers(
     unknown = [n for n in names if n.upper() not in ALL_SCHEDULER_NAMES]
     if unknown:
         raise ConfigurationError(f"unknown schedulers requested: {unknown}")
-    executor = resolve_executor(executor, scale.jobs)
+    executor = resolve_executor(executor, scale.jobs, scale.executor)
     if sim_config is None:
         # An explicit sim_config wins; otherwise the scale's simulation
         # backend choice (CLI --sim-backend) is threaded into every repeat.

@@ -25,7 +25,14 @@ from ..workloads.suites import normal_paper_workload
 from .config import ExperimentScale, default_scale
 from .stats import SampleSummary, summarise
 
-__all__ = ["SweepPoint", "SweepResult", "make_benchmark_problem", "sweep_ga_parameter"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "aggregate_sweep_outcomes",
+    "build_sweep_jobs",
+    "make_benchmark_problem",
+    "sweep_ga_parameter",
+]
 
 
 @dataclass(frozen=True)
@@ -84,6 +91,74 @@ def make_benchmark_problem(
     )
 
 
+def build_sweep_jobs(
+    parameter: str,
+    values: Sequence[object],
+    *,
+    scale: ExperimentScale,
+    repeats: int,
+    seed: RNGLike = None,
+    base_config: Optional[GAConfig] = None,
+) -> List[GARunJob]:
+    """The ``len(values) * repeats`` GA jobs of one sweep, in value-major order.
+
+    This is the single source of the sweep's job construction and seed
+    derivation (one problem and one GA seed pre-drawn per repeat, shared by
+    every swept value): :func:`sweep_ga_parameter` and the campaign runner
+    both call it, so a campaign's sweep cells hash and compute identically
+    to a direct sweep with the same seed.
+    """
+    if repeats <= 0:
+        raise ConfigurationError("repeats must be positive")
+    rng = ensure_rng(seed)
+    base = base_config or GAConfig(
+        population_size=20,
+        max_generations=scale.convergence_generations,
+        n_rebalances=1,
+        backend=scale.ga_backend,
+    )
+    if not hasattr(base, parameter):
+        raise ConfigurationError(f"GAConfig has no field named {parameter!r}")
+
+    # Pre-draw one problem and one GA seed per repeat so every swept value sees
+    # identical conditions.
+    problems = [make_benchmark_problem(scale, rng) for _ in range(repeats)]
+    ga_seeds = [int(ensure_rng(rng).integers(0, 2**31 - 1)) for _ in range(repeats)]
+
+    jobs: List[GARunJob] = []
+    for value in values:
+        config = GAConfig(**{**base.__dict__, parameter: value})
+        jobs.extend(
+            GARunJob(config=config, problem=problem, ga_seed=ga_seed)
+            for problem, ga_seed in zip(problems, ga_seeds)
+        )
+    return jobs
+
+
+def aggregate_sweep_outcomes(
+    parameter: str,
+    values: Sequence[object],
+    repeats: int,
+    outcomes: Sequence,
+    *,
+    executor: str = "serial",
+) -> SweepResult:
+    """Fold value-major GA outcomes (see :func:`build_sweep_jobs`) into a result."""
+    result = SweepResult(parameter=parameter, executor=executor)
+    for i, value in enumerate(values):
+        per_value = outcomes[i * repeats : (i + 1) * repeats]
+        result.points.append(
+            SweepPoint(
+                value=value,
+                makespan=summarise([o.best_makespan for o in per_value]),
+                reduction=summarise([o.reduction_fraction for o in per_value]),
+                generations=summarise([float(o.generations) for o in per_value]),
+                wall_time=summarise([o.wall_time_seconds for o in per_value]),
+            )
+        )
+    return result
+
+
 def sweep_ga_parameter(
     parameter: str,
     values: Sequence[object],
@@ -112,43 +187,11 @@ def sweep_ga_parameter(
     """
     scale = scale or default_scale()
     repeats = repeats or scale.repeats
-    if repeats <= 0:
-        raise ConfigurationError("repeats must be positive")
-    rng = ensure_rng(seed)
-    executor = resolve_executor(executor, scale.jobs)
-    base = base_config or GAConfig(
-        population_size=20,
-        max_generations=scale.convergence_generations,
-        n_rebalances=1,
-        backend=scale.ga_backend,
+    executor = resolve_executor(executor, scale.jobs, scale.executor)
+    jobs = build_sweep_jobs(
+        parameter, values, scale=scale, repeats=repeats, seed=seed, base_config=base_config
     )
-    if not hasattr(base, parameter):
-        raise ConfigurationError(f"GAConfig has no field named {parameter!r}")
-
-    # Pre-draw one problem and one GA seed per repeat so every swept value sees
-    # identical conditions.
-    problems = [make_benchmark_problem(scale, rng) for _ in range(repeats)]
-    ga_seeds = [int(ensure_rng(rng).integers(0, 2**31 - 1)) for _ in range(repeats)]
-
-    jobs: List[GARunJob] = []
-    for value in values:
-        config = GAConfig(**{**base.__dict__, parameter: value})
-        jobs.extend(
-            GARunJob(config=config, problem=problem, ga_seed=ga_seed)
-            for problem, ga_seed in zip(problems, ga_seeds)
-        )
     outcomes = executor.map(run_ga_job, jobs)
-
-    result = SweepResult(parameter=parameter, executor=executor.describe())
-    for i, value in enumerate(values):
-        per_value = outcomes[i * repeats : (i + 1) * repeats]
-        result.points.append(
-            SweepPoint(
-                value=value,
-                makespan=summarise([o.best_makespan for o in per_value]),
-                reduction=summarise([o.reduction_fraction for o in per_value]),
-                generations=summarise([float(o.generations) for o in per_value]),
-                wall_time=summarise([o.wall_time_seconds for o in per_value]),
-            )
-        )
-    return result
+    return aggregate_sweep_outcomes(
+        parameter, values, repeats, outcomes, executor=executor.describe()
+    )

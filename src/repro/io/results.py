@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..scenarios.runner import ScenarioMatrixResult
 
 __all__ = [
+    "atomic_write_json",
     "figure_to_dict",
     "figure_from_dict",
     "save_figure_json",
@@ -38,6 +39,23 @@ __all__ = [
 #: Version stamp embedded in every serialised figure, so future format changes
 #: can be detected when loading.
 FORMAT_VERSION = 1
+
+
+def atomic_write_json(payload: Dict, path: Union[str, os.PathLike]) -> str:
+    """Write *payload* to *path* as pretty JSON, atomically; returns the path.
+
+    The payload is written to a sibling temporary file and moved into place
+    with :func:`os.replace`, so a reader (or a crash) can never observe a
+    half-written file — the campaign runner checkpoints its manifest after
+    every completed cell through this helper.
+    """
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    with open(tmp_path, "w", encoding="utf8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp_path, path)
+    return path
 
 
 def figure_to_dict(figure: FigureResult) -> Dict:
@@ -107,12 +125,7 @@ def figure_from_dict(payload: Dict) -> FigureResult:
 
 def save_figure_json(figure: FigureResult, path: Union[str, os.PathLike]) -> str:
     """Write a figure result to *path* as pretty-printed JSON; returns the path."""
-    payload = figure_to_dict(figure)
-    path = os.fspath(path)
-    with open(path, "w", encoding="utf8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return atomic_write_json(figure_to_dict(figure), path)
 
 
 def load_figure_json(path: Union[str, os.PathLike]) -> FigureResult:
@@ -200,11 +213,7 @@ def save_scenario_matrix_json(
     result: "ScenarioMatrixResult", path: Union[str, os.PathLike]
 ) -> str:
     """Write a scenario-matrix result to *path* as pretty JSON; returns the path."""
-    path = os.fspath(path)
-    with open(path, "w", encoding="utf8") as handle:
-        json.dump(scenario_matrix_to_dict(result), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return path
+    return atomic_write_json(scenario_matrix_to_dict(result), path)
 
 
 def load_scenario_matrix_json(path: Union[str, os.PathLike]) -> Dict:
@@ -248,11 +257,15 @@ def scenario_matrix_to_csv(result: "ScenarioMatrixResult") -> str:
             "executor",
             "wall_clock_mean_seconds",
             "events_per_second_mean",
+            "scheduling_mean_seconds",
+            "dispatch_mean_seconds",
+            "drain_mean_seconds",
         ]
     )
     for scenario in result.scenarios:
         for scheduler, agg in result.aggregates[scenario].items():
             timing_known = agg.wall_clock_seconds is not None
+            phases_known = agg.scheduling_seconds is not None
             writer.writerow(
                 [
                     scenario,
@@ -269,6 +282,9 @@ def scenario_matrix_to_csv(result: "ScenarioMatrixResult") -> str:
                     result.executor,
                     agg.wall_clock_seconds.mean if timing_known else "",
                     agg.events_per_second.mean if timing_known else "",
+                    agg.scheduling_seconds.mean if phases_known else "",
+                    agg.dispatch_seconds.mean if phases_known else "",
+                    agg.drain_seconds.mean if phases_known else "",
                 ]
             )
     return buffer.getvalue()

@@ -1,0 +1,326 @@
+"""Asynchronous work-stealing executor (the ROADMAP's "async / cluster" item).
+
+:class:`AsyncWorkStealingExecutor` implements the same order-preserving
+``map`` / ``imap`` contract as :class:`~repro.parallel.executor.
+ParallelExecutor`, but replaces the process pool's single shared FIFO with a
+work-stealing scheduler driven by an asynchronous, completion-driven dispatch
+loop:
+
+* **Shared task deque.**  Job indices start in one shared deque, in
+  submission order.  Workers claim *blocks* of consecutive indices off its
+  front into a private per-worker deque, so neighbouring jobs (which tend to
+  cost the same) run on the same worker and the shared deque is touched once
+  per block rather than once per job.
+* **Per-worker stealing.**  A worker whose private deque runs dry — after
+  the shared deque is empty — steals the back half of the fullest victim's
+  deque.  Uneven job costs (one slow GA cell next to many fast heuristic
+  cells) therefore re-balance automatically instead of leaving workers idle,
+  which is exactly where the chunked process pool loses wall-clock time.
+* **Bounded in-flight results.**  Results may complete out of order, so the
+  driver holds them in a reorder buffer until every earlier result has been
+  yielded.  Dispatch never runs more than ``max_inflight`` jobs ahead of the
+  next index to emit, bounding both the buffer and the work lost if the run
+  is interrupted mid-``imap``.
+
+The scheduling state (deques, reorder buffer) lives in the driver; workers
+are dumb loops that receive ``(index, fn, job)`` over a pipe and send back
+``(index, result)``.  The driver multiplexes all worker pipes with
+:func:`multiprocessing.connection.wait` — dispatch and completion handling
+are fully asynchronous (no barrier between jobs, no ordering constraint on
+completions) while the scheduler itself stays single-threaded and
+deterministic to reason about.  Because results are re-ordered by index
+before they are yielded, every aggregate downstream is bit-identical to the
+serial executor no matter which worker ran — or stole — which job.
+
+A worker process that dies mid-job (OOM killer, segfault) is detected via
+its closed pipe; its in-flight index and private deque are returned to the
+shared deque and the remaining workers finish the map.  ``KeyboardInterrupt``
+terminates the pool and raises
+:class:`~repro.util.errors.ExperimentInterrupted` with the results completed
+so far, like the process executor.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from collections import deque
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
+
+from ..util.errors import ConfigurationError, ExperimentInterrupted, ReproError
+from .executor import ExperimentExecutor, probe_picklable, warn_serial_fallback
+
+__all__ = ["AsyncWorkStealingExecutor"]
+
+J = TypeVar("J")
+R = TypeVar("R")
+
+#: Message tags on the worker pipes.
+_TASK = 0
+_STOP = 1
+_RESULT = 0
+_ERROR = 1
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: apply received jobs, send back results (or exceptions)."""
+
+    def reply(tag, index, value) -> None:
+        # An unpicklable result or exception must not kill the worker: the
+        # driver would see EOF, requeue the job onto the next worker and
+        # cascade the whole pool to death.  Degrade to a picklable summary.
+        try:
+            conn.send((tag, index, value))
+        except Exception as send_exc:  # pickling failed
+            conn.send(
+                (
+                    _ERROR,
+                    index,
+                    RuntimeError(
+                        f"job {index} produced an unpicklable "
+                        f"{'result' if tag == _RESULT else 'exception'} "
+                        f"({type(value).__name__}): {send_exc}"
+                    ),
+                )
+            )
+
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == _STOP:
+                return
+            _, index, fn, job = message
+            try:
+                result = fn(job)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the driver
+                reply(_ERROR, index, exc)
+            else:
+                reply(_RESULT, index, result)
+    except (EOFError, OSError, KeyboardInterrupt):  # driver went away / Ctrl-C
+        return
+
+
+class _Worker:
+    """Driver-side view of one worker process."""
+
+    __slots__ = ("process", "conn", "local", "inflight")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.local: deque = deque()  # indices claimed but not yet dispatched
+        self.inflight: Optional[int] = None  # index currently running, if any
+
+
+class AsyncWorkStealingExecutor(ExperimentExecutor):
+    """Order-preserving ``map`` over a work-stealing worker-process pool.
+
+    Parameters
+    ----------
+    jobs:
+        Number of worker processes; ``None`` uses the machine's CPU count.
+    max_inflight:
+        Bound on how far dispatch may run ahead of the next result to yield
+        (reorder-buffer size).  Default: ``4 * jobs``, at least 8.
+    block_size:
+        How many consecutive indices a worker claims from the shared deque at
+        a time.  Default: sized so each worker claims ~4 blocks per map,
+        which keeps claims cheap while leaving enough blocks to steal.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        max_inflight: Optional[int] = None,
+        block_size: Optional[int] = None,
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if int(jobs) < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if max_inflight is not None and int(max_inflight) < int(jobs):
+            raise ConfigurationError(
+                f"max_inflight must be >= jobs ({jobs}), got {max_inflight}"
+            )
+        if block_size is not None and int(block_size) < 1:
+            raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+        self.jobs = int(jobs)
+        self.max_inflight = int(max_inflight) if max_inflight is not None else max(8, 4 * self.jobs)
+        self.block_size = int(block_size) if block_size is not None else None
+        self._workers: List[_Worker] = []
+        self._degraded = False
+        #: Jobs stolen between private deques across the executor's lifetime
+        #: (observability for the benchmark suite; not part of any result).
+        self.steals = 0
+
+    # -- pool lifecycle ----------------------------------------------------------------
+    def _ensure_workers(self) -> None:
+        if self._workers:
+            return
+        ctx = mp.get_context()
+        for _ in range(self.jobs):
+            parent_conn, child_conn = mp.Pipe()
+            process = ctx.Process(target=_worker_main, args=(child_conn,), daemon=True)
+            process.start()
+            child_conn.close()
+            self._workers.append(_Worker(process, parent_conn))
+
+    def close(self) -> None:
+        """Stop the worker processes (a later ``map`` restarts them)."""
+        for worker in self._workers:
+            try:
+                worker.conn.send((_STOP,))
+            except (OSError, BrokenPipeError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5)
+            if worker.process.is_alive():  # pragma: no cover - defensive
+                worker.process.terminate()
+                worker.process.join()
+            worker.conn.close()
+        self._workers = []
+
+    def _terminate_workers(self) -> None:
+        for worker in self._workers:
+            worker.process.terminate()
+        for worker in self._workers:
+            worker.process.join()
+            worker.conn.close()
+        self._workers = []
+
+    def describe(self) -> str:
+        if self._degraded:
+            return f"async[{self.jobs}]:serial-fallback"
+        return f"async[{self.jobs}]"
+
+    # -- scheduling --------------------------------------------------------------------
+    def _claim_block(self, worker: _Worker, shared: deque, block: int) -> None:
+        """Move up to *block* indices from the shared deque into *worker*'s."""
+        for _ in range(min(block, len(shared))):
+            worker.local.append(shared.popleft())
+
+    def _steal(self, thief: _Worker) -> None:
+        """Steal the back half of the fullest other private deque."""
+        victim = max(
+            (w for w in self._workers if w is not thief and w.local),
+            key=lambda w: len(w.local),
+            default=None,
+        )
+        if victim is None:
+            return
+        count = (len(victim.local) + 1) // 2
+        stolen = [victim.local.pop() for _ in range(count)]
+        # Popped back-to-front: reverse so the thief runs them in index order.
+        thief.local.extend(reversed(stolen))
+        self.steals += count
+
+    def _next_index_for(self, worker: _Worker, shared: deque, block: int) -> Optional[int]:
+        if not worker.local:
+            if shared:
+                self._claim_block(worker, shared, block)
+            else:
+                self._steal(worker)
+        return worker.local.popleft() if worker.local else None
+
+    def map(self, fn: Callable[[J], R], jobs: Sequence[J]) -> List[R]:
+        return list(self.imap(fn, jobs))
+
+    def imap(self, fn: Callable[[J], R], jobs: Sequence[J]) -> Iterator[R]:
+        jobs = list(jobs)
+        if self.jobs <= 1 or len(jobs) <= 1:
+            return (fn(job) for job in jobs)
+        if not probe_picklable(fn, jobs):
+            self._degraded = True
+            warn_serial_fallback(stacklevel=2)
+            return (fn(job) for job in jobs)
+        return self._stream(fn, jobs)
+
+    def _stream(self, fn: Callable[[J], R], jobs: List[J]) -> Iterator[R]:
+        self._ensure_workers()
+        n = len(jobs)
+        block = self.block_size or max(1, n // (4 * self.jobs))
+        shared: deque = deque(range(n))
+        buffer: Dict[int, R] = {}  # completed, not yet yielded
+        next_emit = 0
+        failure: Optional[BaseException] = None
+
+        def dispatch_idle() -> None:
+            # Hand every idle worker its next index.  Dispatch is capped at
+            # ``max_inflight`` not-yet-yielded jobs so the reorder buffer
+            # (and the work lost on interruption) stays bounded; the
+            # head-of-line index is exempt, otherwise a full buffer of
+            # higher indices could block the one job everyone is waiting on.
+            for worker in self._workers:
+                if worker.inflight is not None:
+                    continue
+                index = self._next_index_for(worker, shared, block)
+                if index is None:
+                    continue
+                outstanding = sum(1 for w in self._workers if w.inflight is not None)
+                if index != next_emit and outstanding + len(buffer) >= self.max_inflight:
+                    worker.local.appendleft(index)  # window full: hold it back
+                    continue
+                worker.conn.send((_TASK, index, fn, jobs[index]))
+                worker.inflight = index
+
+        def requeue_lost(worker: _Worker) -> None:
+            # A dead worker's claimed work goes back to the shared front so
+            # the surviving workers (or the next claim) pick it up first.
+            # Every local deque is kept sorted, so push back-to-front.
+            if worker.inflight is not None:
+                worker.local.appendleft(worker.inflight)
+                worker.inflight = None
+            while worker.local:
+                shared.appendleft(worker.local.pop())
+
+        try:
+            dispatch_idle()
+            while next_emit < n:
+                while next_emit in buffer:
+                    yield buffer.pop(next_emit)
+                    next_emit += 1
+                    dispatch_idle()
+                if next_emit >= n:
+                    break
+                ready = connection_wait([w.conn for w in self._workers], timeout=1.0)
+                for conn in ready:
+                    worker = next(w for w in self._workers if w.conn is conn)
+                    try:
+                        while worker.conn.poll():
+                            tag, index, value = worker.conn.recv()
+                            worker.inflight = None
+                            if tag == _ERROR:
+                                failure = value
+                            else:
+                                buffer[index] = value
+                    except (EOFError, OSError):
+                        # Worker died mid-job: requeue its work, drop it from
+                        # the pool, and let the survivors finish the map.
+                        requeue_lost(worker)
+                        worker.process.join()
+                        worker.conn.close()
+                        self._workers.remove(worker)
+                        if not self._workers:
+                            raise ReproError(
+                                "all async executor workers died; "
+                                f"{next_emit}/{n} results were produced"
+                            ) from None
+                if failure is not None:
+                    raise failure
+                dispatch_idle()
+        except KeyboardInterrupt:
+            # Results already yielded were delivered to the consumer; the
+            # reorder buffer holds the only completed-but-undelivered work.
+            # Keeping just that window bounds driver memory at O(max_inflight)
+            # over arbitrarily long campaigns.
+            self._terminate_workers()
+            raise ExperimentInterrupted(dict(buffer), n) from None
+        except BaseException:
+            # A job raised, the pool collapsed, or the consumer abandoned the
+            # stream (GeneratorExit): the pipes may still carry stale results
+            # for this map, so retire the workers rather than letting the
+            # next map read them.
+            self._terminate_workers()
+            raise

@@ -9,15 +9,29 @@ repeat loop embarrassingly parallel, so the harness routes it through an
 * :class:`SerialExecutor` runs jobs in-process, one after another — the
   reference behaviour, and the default;
 * :class:`ParallelExecutor` shards jobs across a
-  :class:`concurrent.futures.ProcessPoolExecutor`.
+  :class:`concurrent.futures.ProcessPoolExecutor`;
+* :class:`~repro.parallel.async_executor.AsyncWorkStealingExecutor` (module
+  :mod:`repro.parallel.async_executor`) shards them across a work-stealing
+  worker pool with asynchronous, completion-driven dispatch.
 
-Both executors apply the *same* worker function to the *same* job specs and
+All executors apply the *same* worker function to the *same* job specs and
 return results in submission order, so aggregates computed from a parallel
 run are bit-identical to the serial run with the same master seed.  Job specs
-and worker functions must be picklable for the parallel path (module-level
+and worker functions must be picklable for the parallel paths (module-level
 functions plus plain dataclasses of numpy arrays and scalars); if a job
-cannot be pickled the parallel executor transparently degrades to in-process
+cannot be pickled the parallel executors transparently degrade to in-process
 execution rather than failing the experiment.
+
+Streaming (``imap``)
+--------------------
+:meth:`ExperimentExecutor.imap` yields results one by one, still in job
+order, while later jobs may execute concurrently.  Consumers that checkpoint
+after every result (the campaign runner persists each completed cell to its
+result store) use it so an interrupted run loses at most the bounded set of
+in-flight jobs.  A ``KeyboardInterrupt`` during a parallel ``map``/``imap``
+terminates the worker processes instead of hanging on the pool join and is
+re-raised as :class:`~repro.util.errors.ExperimentInterrupted` carrying the
+results completed so far.
 """
 
 from __future__ import annotations
@@ -27,11 +41,12 @@ import pickle
 import warnings
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
 
-from ..util.errors import ConfigurationError
+from ..util.errors import ConfigurationError, ExperimentInterrupted
 
 __all__ = [
+    "EXECUTOR_KINDS",
     "ExperimentExecutor",
     "SerialExecutor",
     "ParallelExecutor",
@@ -41,6 +56,12 @@ __all__ = [
 
 J = TypeVar("J")
 R = TypeVar("R")
+
+#: Executor families selectable via ``ExperimentScale.executor`` / CLI
+#: ``--executor``.  ``"serial"`` forces in-process execution regardless of the
+#: jobs count; ``"process"`` and ``"async"`` choose the implementation used
+#: when ``jobs > 1``.
+EXECUTOR_KINDS = ("serial", "process", "async")
 
 
 class ExperimentExecutor(ABC):
@@ -59,6 +80,16 @@ class ExperimentExecutor(ABC):
     def map(self, fn: Callable[[J], R], jobs: Sequence[J]) -> List[R]:
         """Apply *fn* to every job and return the results in job order."""
 
+    def imap(self, fn: Callable[[J], R], jobs: Sequence[J]) -> Iterator[R]:
+        """Yield ``fn(job)`` results one by one, in job order.
+
+        The default implementation materialises :meth:`map`; parallel
+        executors override it to stream each result as soon as it (and all
+        earlier results) are available, so callers can checkpoint
+        incrementally while later jobs are still running.
+        """
+        return iter(self.map(fn, jobs))
+
     def describe(self) -> str:
         """Short identifier recorded in experiment results.
 
@@ -69,6 +100,12 @@ class ExperimentExecutor(ABC):
 
     def close(self) -> None:
         """Release any worker resources (no-op for in-process executors)."""
+
+    def __enter__(self) -> "ExperimentExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(jobs={self.jobs})"
@@ -82,8 +119,45 @@ class SerialExecutor(ExperimentExecutor):
     def map(self, fn: Callable[[J], R], jobs: Sequence[J]) -> List[R]:
         return [fn(job) for job in jobs]
 
+    def imap(self, fn: Callable[[J], R], jobs: Sequence[J]) -> Iterator[R]:
+        # Lazy by design: a consumer that stops early (campaign --max-cells)
+        # must not compute the jobs it never asked for.
+        return (fn(job) for job in jobs)
+
     def describe(self) -> str:
         return "serial"
+
+
+def _run_chunk(fn: Callable[[J], R], chunk: Sequence[J]) -> List[R]:
+    """Worker-side helper: apply *fn* to one chunk of jobs (module-level
+    so it pickles)."""
+    return [fn(job) for job in chunk]
+
+
+def probe_picklable(fn: Callable, jobs: Sequence) -> bool:
+    """Whether *fn* and a representative job cross a process boundary.
+
+    Probes the function and the first job only; the harness's job lists are
+    homogeneous, so serialising all of them here would just double the
+    pickling work of the common (picklable) case.  Shared by every parallel
+    executor so the probe (and its failure semantics) cannot drift.
+    """
+    try:
+        pickle.dumps(fn)
+        pickle.dumps(jobs[0])
+        return True
+    except Exception:
+        return False
+
+
+def warn_serial_fallback(stacklevel: int = 3) -> None:
+    """Emit the shared not-picklable degradation warning."""
+    warnings.warn(
+        "job spec or worker function is not picklable; "
+        "running serially in-process instead",
+        RuntimeWarning,
+        stacklevel=stacklevel,
+    )
 
 
 class ParallelExecutor(ExperimentExecutor):
@@ -95,6 +169,11 @@ class ParallelExecutor(ExperimentExecutor):
     condition) pay the worker spawn and import cost once.  Call
     :meth:`close` — or use the executor as a context manager — to shut the
     pool down eagerly; otherwise it is reclaimed at interpreter exit.
+
+    A ``KeyboardInterrupt`` while jobs are in flight terminates the worker
+    processes (rather than hanging on the pool join waiting for running jobs)
+    and raises :class:`~repro.util.errors.ExperimentInterrupted` with the
+    results that completed before the interrupt.
 
     Parameters
     ----------
@@ -130,54 +209,100 @@ class ParallelExecutor(ExperimentExecutor):
             self._pool.shutdown()
             self._pool = None
 
-    def __enter__(self) -> "ParallelExecutor":
-        return self
+    def _terminate_workers(self) -> None:
+        """Kill the pool's worker processes without waiting on running jobs.
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+        ``ProcessPoolExecutor.shutdown`` joins the workers, which blocks for
+        as long as the longest in-flight job keeps running — at paper scale
+        that can be minutes after the user pressed Ctrl-C.  Terminating the
+        processes first makes the subsequent shutdown immediate.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        for process in list(getattr(pool, "_processes", {}).values()):
+            process.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
 
-    def _picklable(self, fn: Callable, jobs: Sequence) -> bool:
-        # Probe with the function and one representative job; the harness's
-        # job lists are homogeneous, so serialising all of them here would
-        # only double the pickling work of the common (picklable) case.
-        try:
-            pickle.dumps(fn)
-            pickle.dumps(jobs[0])
+    def _fallback_serial(self, fn, jobs) -> bool:
+        if self.jobs <= 1 or len(jobs) <= 1:
             return True
-        except Exception:
-            return False
+        if not probe_picklable(fn, jobs):
+            self._degraded = True
+            warn_serial_fallback()
+            return True
+        return False
 
     def map(self, fn: Callable[[J], R], jobs: Sequence[J]) -> List[R]:
+        return list(self.imap(fn, jobs))
+
+    def imap(self, fn: Callable[[J], R], jobs: Sequence[J]) -> Iterator[R]:
         jobs = list(jobs)
-        if self.jobs <= 1 or len(jobs) <= 1:
-            return [fn(job) for job in jobs]
-        if not self._picklable(fn, jobs):
-            self._degraded = True
-            warnings.warn(
-                "job spec or worker function is not picklable; "
-                "running serially in-process instead",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            return [fn(job) for job in jobs]
+        if self._fallback_serial(fn, jobs):
+            return (fn(job) for job in jobs)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return list(self._pool.map(fn, jobs, chunksize=self.chunksize))
+        chunks = [
+            jobs[i : i + self.chunksize] for i in range(0, len(jobs), self.chunksize)
+        ]
+        futures = [self._pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+
+        def _stream() -> Iterator[R]:
+            try:
+                for future in futures:
+                    for result in future.result():
+                        yield result
+            except KeyboardInterrupt:
+                partial = {}
+                for k, future in enumerate(futures):
+                    if future.done() and not future.cancelled() and future.exception() is None:
+                        for offset, result in enumerate(future.result()):
+                            partial[k * self.chunksize + offset] = result
+                self._terminate_workers()
+                raise ExperimentInterrupted(partial, len(jobs)) from None
+            except BaseException:
+                # The consumer abandoned the stream (GeneratorExit — e.g. the
+                # campaign runner stopping at --max-cells) or a job raised:
+                # every chunk was already submitted, so cancel the ones that
+                # have not started or they would all still be computed — and
+                # waited for — at pool shutdown.
+                for future in futures:
+                    future.cancel()
+                raise
+
+        return _stream()
 
 
-def executor_from_jobs(jobs: Optional[int]) -> ExperimentExecutor:
-    """Build the executor matching a ``jobs`` count (``None``/``1`` = serial)."""
-    if jobs is None or int(jobs) == 1:
-        return SerialExecutor()
-    if int(jobs) < 1:
+def executor_from_jobs(jobs: Optional[int], kind: str = "process") -> ExperimentExecutor:
+    """Build the executor matching a ``jobs`` count (``None``/``1`` = serial).
+
+    *kind* selects the parallel implementation used when ``jobs > 1``:
+    ``"process"`` (the chunked process pool) or ``"async"`` (the
+    work-stealing pool); ``"serial"`` forces in-process execution regardless
+    of *jobs*.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ConfigurationError(
+            f"unknown executor kind {kind!r}; expected one of {list(EXECUTOR_KINDS)}"
+        )
+    if jobs is not None and int(jobs) < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if kind == "serial" or jobs is None or int(jobs) == 1:
+        return SerialExecutor()
+    if kind == "async":
+        from .async_executor import AsyncWorkStealingExecutor
+
+        return AsyncWorkStealingExecutor(int(jobs))
     return ParallelExecutor(int(jobs))
 
 
 def resolve_executor(
-    executor: Optional[ExperimentExecutor], jobs: Optional[int]
+    executor: Optional[ExperimentExecutor],
+    jobs: Optional[int],
+    kind: str = "process",
 ) -> ExperimentExecutor:
     """An explicitly supplied executor wins; otherwise build one from *jobs*."""
     if executor is not None:
         return executor
-    return executor_from_jobs(jobs)
+    return executor_from_jobs(jobs, kind)

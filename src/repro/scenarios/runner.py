@@ -45,6 +45,9 @@ __all__ = [
     "run_scenario_cell",
     "ScenarioAggregate",
     "ScenarioMatrixResult",
+    "aggregate_scenario_outcomes",
+    "build_scenario_cells",
+    "resolve_scenario_specs",
     "run_scenario_matrix",
 ]
 
@@ -100,6 +103,13 @@ class ScenarioCellOutcome:
     wall_clock_seconds: float = field(default=0.0, compare=False)
     #: Simulation events processed per wall-clock second.
     events_per_second: float = field(default=0.0, compare=False)
+    #: Per-phase cost attribution (see ``SimulationConfig.phase_timing``):
+    #: wall-clock seconds spent invoking the scheduling policy, dispatching
+    #: work to workers, and processing completions / the terminal drain.
+    #: Machine-dependent like ``wall_clock_seconds``.
+    scheduling_seconds: float = field(default=0.0, compare=False)
+    dispatch_seconds: float = field(default=0.0, compare=False)
+    drain_seconds: float = field(default=0.0, compare=False)
 
 
 def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
@@ -166,6 +176,9 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
         events_per_second=(
             float(result.events_processed / wall_clock) if wall_clock > 0 else 0.0
         ),
+        scheduling_seconds=float(result.phase_seconds.get("scheduling", 0.0)),
+        dispatch_seconds=float(result.phase_seconds.get("dispatch", 0.0)),
+        drain_seconds=float(result.phase_seconds.get("drain", 0.0)),
     )
 
 
@@ -184,9 +197,13 @@ class ScenarioAggregate:
     mean_queue_length: SampleSummary
     conservation_ok: bool
     #: Machine-dependent timing summaries (not part of the determinism
-    #: signature): simulation wall-clock per cell and events per second.
+    #: signature): simulation wall-clock per cell, events per second, and
+    #: the per-phase breakdown (scheduling vs dispatch vs drain).
     wall_clock_seconds: Optional[SampleSummary] = None
     events_per_second: Optional[SampleSummary] = None
+    scheduling_seconds: Optional[SampleSummary] = None
+    dispatch_seconds: Optional[SampleSummary] = None
+    drain_seconds: Optional[SampleSummary] = None
 
 
 @dataclass
@@ -251,13 +268,25 @@ class ScenarioMatrixResult:
         trajectories but excluded from the serial-vs-parallel equality that
         CI asserts bit-for-bit.
         """
+        def row(agg: ScenarioAggregate) -> Dict[str, float]:
+            entry = {
+                "wall_clock_mean_seconds": agg.wall_clock_seconds.mean,
+                "wall_clock_std_seconds": agg.wall_clock_seconds.std,
+                "events_per_second_mean": agg.events_per_second.mean,
+            }
+            # Per-phase attribution (scheduling vs dispatch vs drain), when
+            # the cells were run with ``SimulationConfig.phase_timing``.
+            if agg.scheduling_seconds is not None:
+                entry["scheduling_mean_seconds"] = agg.scheduling_seconds.mean
+            if agg.dispatch_seconds is not None:
+                entry["dispatch_mean_seconds"] = agg.dispatch_seconds.mean
+            if agg.drain_seconds is not None:
+                entry["drain_mean_seconds"] = agg.drain_seconds.mean
+            return entry
+
         return {
             scenario: {
-                scheduler: {
-                    "wall_clock_mean_seconds": agg.wall_clock_seconds.mean,
-                    "wall_clock_std_seconds": agg.wall_clock_seconds.std,
-                    "events_per_second_mean": agg.events_per_second.mean,
-                }
+                scheduler: row(agg)
                 for scheduler, agg in by_scheduler.items()
                 if agg.wall_clock_seconds is not None
                 and agg.events_per_second is not None
@@ -266,14 +295,27 @@ class ScenarioMatrixResult:
         }
 
 
-def _aggregate_outcomes(
+def aggregate_scenario_outcomes(
     outcomes: Sequence[ScenarioCellOutcome],
 ) -> Dict[str, Dict[str, ScenarioAggregate]]:
+    """Group cell outcomes by (scenario, scheduler) and summarise each group.
+
+    Folding happens in outcome order, so callers that assemble *outcomes*
+    deterministically (the matrix runner, the campaign runner re-reading its
+    store) get bit-identical aggregates no matter who computed the cells.
+    """
     grouped: Dict[Tuple[str, str], List[ScenarioCellOutcome]] = {}
     for outcome in outcomes:
         grouped.setdefault((outcome.scenario, outcome.scheduler), []).append(outcome)
     aggregates: Dict[str, Dict[str, ScenarioAggregate]] = {}
     for (scenario, scheduler), cells in grouped.items():
+        # Phase attribution is opt-in (SimulationConfig.phase_timing): cells
+        # run without it report identical zeros, which must surface as
+        # "not measured" rather than as a measurement of 0.0 seconds.
+        phases_measured = any(
+            c.scheduling_seconds or c.dispatch_seconds or c.drain_seconds
+            for c in cells
+        )
         aggregates.setdefault(scenario, {})[scheduler] = ScenarioAggregate(
             scenario=scenario,
             scheduler=scheduler,
@@ -289,8 +331,81 @@ def _aggregate_outcomes(
             conservation_ok=all(c.conservation_ok for c in cells),
             wall_clock_seconds=summarise(c.wall_clock_seconds for c in cells),
             events_per_second=summarise(c.events_per_second for c in cells),
+            scheduling_seconds=(
+                summarise(c.scheduling_seconds for c in cells)
+                if phases_measured
+                else None
+            ),
+            dispatch_seconds=(
+                summarise(c.dispatch_seconds for c in cells)
+                if phases_measured
+                else None
+            ),
+            drain_seconds=(
+                summarise(c.drain_seconds for c in cells) if phases_measured else None
+            ),
         )
     return aggregates
+
+
+def resolve_scenario_specs(
+    scenarios: Sequence[Union[str, ScenarioSpec]], scale: ExperimentScale
+) -> List[ScenarioSpec]:
+    """Resolve names through the library (sized at *scale*), validate uniqueness."""
+    specs: List[ScenarioSpec] = [
+        get_scenario(item, scale) if isinstance(item, str) else item for item in scenarios
+    ]
+    if not specs:
+        raise ConfigurationError("scenario matrix needs at least one scenario")
+    names = [spec.name for spec in specs]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate scenario names in matrix: {names}")
+    return specs
+
+
+def build_scenario_cells(
+    specs: Sequence[ScenarioSpec],
+    *,
+    scale: ExperimentScale,
+    schedulers: Optional[Sequence[str]],
+    n_repeats: int,
+    sim_config: SimulationConfig,
+    master_rng,
+) -> Tuple[List[ScenarioCell], List[str]]:
+    """Expand (scenario × scheduler × repeat) into cells, in matrix order.
+
+    One 63-bit entropy draw is taken from *master_rng* per cell, in the fixed
+    nested (scenario, scheduler, repeat) order.  This is the single source of
+    the matrix seed derivation: the matrix runner and the campaign runner
+    both call it, so a campaign's scenario cells are bit-identical — same
+    cache keys, same results — to a direct ``run_scenario_matrix`` with the
+    same master seed.  Returns the cells and the ordered scheduler union.
+    """
+    cells: List[ScenarioCell] = []
+    scheduler_union: List[str] = []
+    for spec in specs:
+        # Deduplicate while keeping order: a repeated name (e.g. CLI
+        # `--schedulers EF EF`) must not silently double a cell's repeats.
+        cell_schedulers = list(
+            dict.fromkeys(s.upper() for s in (schedulers or spec.schedulers))
+        )
+        for scheduler in cell_schedulers:
+            if scheduler not in scheduler_union:
+                scheduler_union.append(scheduler)
+            for repeat in range(n_repeats):
+                cells.append(
+                    ScenarioCell(
+                        spec=spec,
+                        scheduler=scheduler,
+                        repeat=repeat,
+                        seed_entropy=int(master_rng.integers(0, 2**63 - 1)),
+                        batch_size=scale.batch_size,
+                        max_generations=scale.max_generations,
+                        ga_backend=scale.ga_backend,
+                        sim_config=sim_config,
+                    )
+                )
+    return cells, scheduler_union
 
 
 def run_scenario_matrix(
@@ -329,56 +444,37 @@ def run_scenario_matrix(
         Aggregates are bit-identical for any choice.
     """
     scale = scale or default_scale()
-    specs: List[ScenarioSpec] = [
-        get_scenario(item, scale) if isinstance(item, str) else item for item in scenarios
-    ]
-    if not specs:
-        raise ConfigurationError("scenario matrix needs at least one scenario")
-    names = [spec.name for spec in specs]
-    if len(set(names)) != len(names):
-        raise ConfigurationError(f"duplicate scenario names in matrix: {names}")
+    specs = resolve_scenario_specs(scenarios, scale)
     n_repeats = int(repeats) if repeats is not None else scale.repeats
     if n_repeats <= 0:
         raise ConfigurationError(f"repeats must be positive, got {n_repeats}")
 
-    executor = resolve_executor(executor, jobs if jobs is not None else scale.jobs)
+    executor = resolve_executor(
+        executor, jobs if jobs is not None else scale.jobs, scale.executor
+    )
     if sim_config is None:
         # An explicit sim_config wins; otherwise the scale's simulation
         # backend choice (CLI --sim-backend) is threaded into every cell.
-        sim_config = SimulationConfig(sim_backend=scale.sim_backend)
-    master_rng = ensure_rng(seed)
-    cells: List[ScenarioCell] = []
-    scheduler_union: List[str] = []
-    for spec in specs:
-        # Deduplicate while keeping order: a repeated name (e.g. CLI
-        # `--schedulers EF EF`) must not silently double a cell's repeats.
-        cell_schedulers = list(
-            dict.fromkeys(s.upper() for s in (schedulers or spec.schedulers))
-        )
-        for scheduler in cell_schedulers:
-            if scheduler not in scheduler_union:
-                scheduler_union.append(scheduler)
-            for repeat in range(n_repeats):
-                cells.append(
-                    ScenarioCell(
-                        spec=spec,
-                        scheduler=scheduler,
-                        repeat=repeat,
-                        seed_entropy=int(master_rng.integers(0, 2**63 - 1)),
-                        batch_size=scale.batch_size,
-                        max_generations=scale.max_generations,
-                        ga_backend=scale.ga_backend,
-                        sim_config=sim_config,
-                    )
-                )
+        # Phase timing is on for matrix cells: the per-phase records guide
+        # hot-path work and the per-cell clock reads are in the noise next
+        # to each cell's workload/cluster construction.
+        sim_config = SimulationConfig(sim_backend=scale.sim_backend, phase_timing=True)
+    cells, scheduler_union = build_scenario_cells(
+        specs,
+        scale=scale,
+        schedulers=schedulers,
+        n_repeats=n_repeats,
+        sim_config=sim_config,
+        master_rng=ensure_rng(seed),
+    )
 
     outcomes = executor.map(run_scenario_cell, cells)
     return ScenarioMatrixResult(
-        scenarios=names,
+        scenarios=[spec.name for spec in specs],
         schedulers=scheduler_union,
         repeats=n_repeats,
         outcomes=list(outcomes),
-        aggregates=_aggregate_outcomes(outcomes),
+        aggregates=aggregate_scenario_outcomes(outcomes),
         executor=executor.describe(),
         scale_name=scale.name,
     )

@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+from time import perf_counter
 from typing import TYPE_CHECKING, List, Tuple
 
 import numpy as np
@@ -224,6 +225,11 @@ def run_static_replay(sim: "DistributedSystemSimulation") -> Tuple[float, int]:
     pending_invoke = False
     plans = _comm_plans(sim)
     const_rates = _const_rates(sim)
+    # Per-phase attribution mirrors the event backend's: policy invocations
+    # are "scheduling", worker fetches "dispatch", completion processing
+    # (incl. the terminal drain) "drain".  ``None`` when timing is off so
+    # the hot loop pays no clock reads by default.
+    phases = sim._phase_seconds if sim.config.phase_timing else None
     normals = _NormalBlocks(sim._network_rng)
     sample_queues = sim._sample_queues
     schedule_all = master.schedule_all_available
@@ -327,6 +333,7 @@ def run_static_replay(sim: "DistributedSystemSimulation") -> Tuple[float, int]:
                 raise budget_error(max_events)
             continue
         if src == 2:  # TASK_COMPLETION
+            branch_start = 0.0 if phases is None else perf_counter()
             _, _, proc = heapq.heappop(comp)
             worker = workers[proc]
             task, dispatch_time, comm_cost = inflight.pop(proc)
@@ -347,7 +354,10 @@ def run_static_replay(sim: "DistributedSystemSimulation") -> Tuple[float, int]:
             sim._completed += 1
             fifo.append((best_t, seq, _FETCH, proc))
             seq += 1
+            if phases is not None:
+                phases["drain"] += perf_counter() - branch_start
         else:  # follow-up FIFO: INVOKE_SCHEDULER or WORKER_FETCH
+            branch_start = 0.0 if phases is None else perf_counter()
             _, _, code, proc = fifo.popleft()
             if code == _INVOKE:
                 pending_invoke = False
@@ -361,8 +371,12 @@ def run_static_replay(sim: "DistributedSystemSimulation") -> Tuple[float, int]:
                         ):
                             fifo.append((best_t, seq, _FETCH, worker.proc_id))
                             seq += 1
+                if phases is not None:
+                    phases["scheduling"] += perf_counter() - branch_start
             else:
                 do_fetch(best_t, proc)
+                if phases is not None:
+                    phases["dispatch"] += perf_counter() - branch_start
 
         processed += 1
         if processed > max_events:
@@ -386,6 +400,7 @@ def run_static_replay(sim: "DistributedSystemSimulation") -> Tuple[float, int]:
     if not within_budget:
         deterministic_drain = False  # sequential drain raises at the exact event
 
+    drain_start = 0.0 if phases is None else perf_counter()
     if deterministic_drain:
         now = _drain_deterministic(sim, comp, inflight, plans, const_rates, seq, now)
     else:
@@ -393,6 +408,8 @@ def run_static_replay(sim: "DistributedSystemSimulation") -> Tuple[float, int]:
             sim, comp, inflight, plans, const_rates, normals, seq, processed, now,
             check_budget=not within_budget,
         )
+    if phases is not None:
+        phases["drain"] += perf_counter() - drain_start
     return now, processed + 2 * remaining
 
 

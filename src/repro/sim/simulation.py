@@ -33,8 +33,9 @@ conservation invariant that every arrived task completes exactly once:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 
 from ..cluster.cluster import Cluster
@@ -101,6 +102,13 @@ class SimulationConfig:
     #: event loop automatically), ``"event"`` always pumps the
     #: discrete-event engine.
     sim_backend: str = "fast"
+    #: Attribute wall-clock cost to simulation phases (``scheduling`` —
+    #: policy invocations, ``dispatch`` — worker fetches and communication
+    #: sampling, ``drain`` — completion processing, including the fast
+    #: path's terminal drain).  Off by default: the per-event clock reads
+    #: cost real time on the hot path.  Purely observational — results are
+    #: bit-identical either way; see :attr:`SimulationResult.phase_seconds`.
+    phase_timing: bool = False
 
     def __post_init__(self) -> None:
         if self.sim_backend not in SIM_BACKENDS:
@@ -126,6 +134,11 @@ class SimulationResult:
     tasks_injected: int = 0
     #: Events the engine processed end-to-end (throughput benchmarks use this).
     events_processed: int = 0
+    #: Wall-clock seconds per simulation phase (``scheduling`` / ``dispatch``
+    #: / ``drain``), populated only when
+    #: :attr:`SimulationConfig.phase_timing` is on.  Machine-dependent:
+    #: excluded from any determinism comparison.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -185,11 +198,18 @@ class DistributedSystemSimulation:
         )
         self._counts = {"failures": 0, "recoveries": 0, "joins": 0}
         self._injected = 0
+        self._phase_seconds = {"scheduling": 0.0, "dispatch": 0.0, "drain": 0.0}
 
         self.engine.register(EventKind.TASK_ARRIVAL, self._on_task_arrival)
-        self.engine.register(EventKind.INVOKE_SCHEDULER, self._on_invoke_scheduler)
-        self.engine.register(EventKind.WORKER_FETCH, self._on_worker_fetch)
-        self.engine.register(EventKind.TASK_COMPLETION, self._on_task_completion)
+        self.engine.register(
+            EventKind.INVOKE_SCHEDULER, self._phased("scheduling", self._on_invoke_scheduler)
+        )
+        self.engine.register(
+            EventKind.WORKER_FETCH, self._phased("dispatch", self._on_worker_fetch)
+        )
+        self.engine.register(
+            EventKind.TASK_COMPLETION, self._phased("drain", self._on_task_completion)
+        )
         if dynamics is not None:
             self.engine.register(EventKind.WORKER_FAILURE, self._on_worker_failure)
             self.engine.register(EventKind.WORKER_RECOVERY, self._on_worker_recovery)
@@ -206,6 +226,27 @@ class DistributedSystemSimulation:
                 # no downtime (they were never part of the cluster).
                 self.workers[proc].online = False
                 self.master.mark_offline(proc)
+
+    def _phased(
+        self, phase: str, handler: Callable[[Event], None]
+    ) -> Callable[[Event], None]:
+        """Wrap *handler* to attribute its wall time to *phase*.
+
+        Identity when phase timing is off, so the hot event loop pays no
+        clock reads unless the attribution was asked for.
+        """
+        if not self.config.phase_timing:
+            return handler
+        seconds = self._phase_seconds
+
+        def timed(event: Event) -> None:
+            start = time.perf_counter()
+            try:
+                handler(event)
+            finally:
+                seconds[phase] += time.perf_counter() - start
+
+        return timed
 
     # -- event handlers ---------------------------------------------------------------
     def _on_task_arrival(self, event: Event) -> None:
@@ -405,6 +446,9 @@ class DistributedSystemSimulation:
             n_processors=self.cluster.n_processors,
             tasks_injected=self._injected,
             events_processed=events_processed,
+            phase_seconds=(
+                dict(self._phase_seconds) if self.config.phase_timing else {}
+            ),
         )
 
 

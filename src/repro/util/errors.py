@@ -11,6 +11,7 @@ __all__ = [
     "ReproError",
     "ConfigurationError",
     "EncodingError",
+    "ExperimentInterrupted",
     "SchedulingError",
     "SimulationError",
     "WorkloadError",
@@ -49,3 +50,22 @@ class SimulationError(ReproError, RuntimeError):
 
 class WorkloadError(ReproError, ValueError):
     """A workload specification or generated task set is invalid."""
+
+
+class ExperimentInterrupted(ReproError, RuntimeError):
+    """An executor map was interrupted (Ctrl-C) before every job finished.
+
+    Raised by the parallel executors after they have terminated their worker
+    processes, instead of letting the ``KeyboardInterrupt`` hang on the pool
+    join.  ``partial`` maps *job indices* to completed results the caller
+    has not otherwise received — at least every result that finished but was
+    never delivered through ``map``/``imap`` — so callers (e.g. the campaign
+    runner) can persist the work already paid for.
+    """
+
+    def __init__(self, partial: dict, total: int) -> None:
+        self.partial = dict(partial)
+        self.total = int(total)
+        super().__init__(
+            f"interrupted after {len(self.partial)}/{self.total} jobs completed"
+        )

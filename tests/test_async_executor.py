@@ -1,0 +1,203 @@
+"""Tests for the async work-stealing executor (repro.parallel.async_executor).
+
+The contract under test is the same order-preserving ``map``/``imap`` the
+other executors implement — results in job order, no drops or duplicates,
+aggregates bit-identical to serial — plus the scheduler-specific behaviours:
+work stealing under uneven job costs, the bounded in-flight window, worker
+crash recovery, and clean interrupt semantics.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import compare_schedulers, get_scale
+from repro.parallel import AsyncWorkStealingExecutor, executor_from_jobs
+from repro.util.errors import ConfigurationError, ExperimentInterrupted, ReproError
+from repro.workloads import normal_paper_workload
+
+
+def _square(x):
+    return x * x
+
+
+def _uneven(x):
+    # One long job at the front of the first worker's block: the other
+    # workers must steal its remaining work to finish promptly.
+    time.sleep(0.15 if x == 0 else 0.002)
+    return x
+
+
+def _boom(x):
+    if x == 5:
+        raise ValueError("boom on 5")
+    return x
+
+
+def _keyboard(x):
+    if x == 6:
+        raise KeyboardInterrupt
+    time.sleep(0.01)
+    return x
+
+
+class _UnpicklableError(Exception):
+    def __init__(self):
+        super().__init__("unpicklable")
+        self.handle = open(__file__, "r")  # noqa: SIM115 - deliberately unpicklable
+
+
+def _raise_unpicklable(x):
+    if x == 2:
+        raise _UnpicklableError()
+    return x
+
+
+def _crash_once(arg):
+    index, flag_path = arg
+    if index == 3 and not os.path.exists(flag_path):
+        with open(flag_path, "w", encoding="utf8") as handle:
+            handle.write("crashed")
+        os._exit(17)  # hard-kill this worker process mid-job
+    return index
+
+
+class TestContract:
+    def test_map_preserves_order(self):
+        with AsyncWorkStealingExecutor(3) as executor:
+            assert executor.map(_square, list(range(40))) == [
+                x * x for x in range(40)
+            ]
+
+    def test_imap_streams_in_order(self):
+        with AsyncWorkStealingExecutor(2) as executor:
+            seen = list(executor.imap(_square, list(range(17))))
+        assert seen == [x * x for x in range(17)]
+
+    def test_single_job_and_empty_list_run_inline(self):
+        with AsyncWorkStealingExecutor(4) as executor:
+            assert executor.map(_square, [5]) == [25]
+            assert executor.map(_square, []) == []
+
+    def test_pool_reused_across_maps(self):
+        with AsyncWorkStealingExecutor(2) as executor:
+            assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+            workers = list(executor._workers)
+            assert executor.map(_square, [4, 5]) == [16, 25]
+            assert executor._workers == workers
+
+    def test_describe(self):
+        assert AsyncWorkStealingExecutor(3).describe() == "async[3]"
+
+    def test_construction_validation(self):
+        with pytest.raises(ConfigurationError):
+            AsyncWorkStealingExecutor(0)
+        with pytest.raises(ConfigurationError):
+            AsyncWorkStealingExecutor(2, max_inflight=1)
+        with pytest.raises(ConfigurationError):
+            AsyncWorkStealingExecutor(2, block_size=0)
+
+    def test_executor_from_jobs_kinds(self):
+        assert isinstance(executor_from_jobs(2, "async"), AsyncWorkStealingExecutor)
+        assert executor_from_jobs(1, "async").describe() == "serial"
+        assert executor_from_jobs(4, "serial").describe() == "serial"
+        with pytest.raises(ConfigurationError, match="executor kind"):
+            executor_from_jobs(2, "cluster")
+
+    def test_unpicklable_falls_back_to_serial(self):
+        executor = AsyncWorkStealingExecutor(2)
+        fn = lambda x: x + 1  # noqa: E731 - deliberately unpicklable
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            assert executor.map(fn, [1, 2]) == [2, 3]
+        assert executor.describe() == "async[2]:serial-fallback"
+        executor.close()
+
+
+class TestScheduling:
+    def test_uneven_costs_trigger_stealing(self):
+        with AsyncWorkStealingExecutor(4, block_size=8) as executor:
+            assert executor.map(_uneven, list(range(32))) == list(range(32))
+            assert executor.steals > 0
+
+    def test_bounded_inflight_window_still_completes(self):
+        # A tiny window forces dispatch to pause on the reorder buffer; the
+        # head-of-line exemption must keep the map progressing to the end.
+        with AsyncWorkStealingExecutor(3, max_inflight=3, block_size=2) as executor:
+            assert executor.map(_uneven, list(range(24))) == list(range(24))
+
+
+class TestFailureModes:
+    def test_job_exception_propagates(self):
+        executor = AsyncWorkStealingExecutor(2)
+        with pytest.raises(ValueError, match="boom on 5"):
+            executor.map(_boom, list(range(10)))
+        # The pool was retired; a new map restarts it and works.
+        assert executor.map(_square, [2, 3]) == [4, 9]
+        executor.close()
+
+    def test_unpicklable_exception_degrades_to_runtime_error(self):
+        # An exception that cannot cross the pipe must not kill the worker
+        # (the requeue would cascade the whole pool to death): it comes back
+        # as a picklable RuntimeError naming the original type.
+        executor = AsyncWorkStealingExecutor(2)
+        with pytest.raises(RuntimeError, match="_UnpicklableError"):
+            executor.map(_raise_unpicklable, list(range(6)))
+        assert executor.map(_square, [3]) == [9]  # pool still usable
+        executor.close()
+
+    def test_keyboard_interrupt_surfaces_partial_results(self):
+        executor = AsyncWorkStealingExecutor(2)
+        with pytest.raises(ExperimentInterrupted) as info:
+            executor.map(_keyboard, list(range(10)))
+        assert info.value.total == 10
+        assert all(info.value.partial[i] == i for i in info.value.partial)
+        # No lingering worker processes to hang on.
+        assert executor._workers == []
+        executor.close()
+
+    def test_worker_crash_requeues_and_survivors_finish(self, tmp_path):
+        flag = str(tmp_path / "crashed.flag")
+        jobs = [(i, flag) for i in range(12)]
+        with AsyncWorkStealingExecutor(3) as executor:
+            results = executor.map(_crash_once, jobs)
+            assert results == list(range(12))
+            # One worker died and was dropped from the pool.
+            assert len(executor._workers) == 2
+        assert os.path.exists(flag)
+
+    def test_all_workers_dead_raises_instead_of_hanging(self):
+        with AsyncWorkStealingExecutor(2) as executor:
+            with pytest.raises(ReproError, match="workers died"):
+                executor.map(_always_crash, list(range(6)))
+
+
+def _always_crash(x):
+    os._exit(1)
+
+
+class TestDeterminism:
+    """The acceptance gate: async results equal serial bit-for-bit."""
+
+    def test_compare_schedulers_async_vs_serial(self):
+        scale = get_scale("smoke").scaled(
+            n_tasks=25,
+            n_tasks_large=25,
+            n_processors=4,
+            batch_size=10,
+            max_generations=5,
+            repeats=3,
+            convergence_generations=6,
+            comm_cost_means=(5.0, 20.0),
+        )
+        spec = normal_paper_workload(scale.n_tasks)
+        serial = compare_schedulers(spec, scale, mean_comm_cost=5.0, seed=42)
+        async_scale = scale.scaled(jobs=2, executor="async")
+        parallel = compare_schedulers(spec, async_scale, mean_comm_cost=5.0, seed=42)
+        assert parallel.executor == "async[2]"
+        for name in serial.schedulers:
+            a, b = serial.schedulers[name], parallel.schedulers[name]
+            assert a.makespan.mean == b.makespan.mean
+            assert a.makespan.std == b.makespan.std
+            assert a.efficiency.mean == b.efficiency.mean
+            assert a.mean_response_time.mean == b.mean_response_time.mean

@@ -176,3 +176,138 @@ class TestScenariosCLI:
         code = main(["scenarios", "run", "no-such-thing", "--scale", "smoke"])
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestExecutorOption:
+    def test_executor_option_parses(self):
+        args = build_parser().parse_args(["fig5", "--executor", "async"])
+        assert args.executor == "async"
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--executor", "cluster"])
+
+    def test_compare_runs_with_async_executor(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--scale",
+                "smoke",
+                "--seed",
+                "1",
+                "--tasks",
+                "20",
+                "--comm-cost",
+                "2.0",
+                "--jobs",
+                "2",
+                "--executor",
+                "async",
+            ]
+        )
+        assert code == 0
+        assert "async[2]" in capsys.readouterr().out
+
+
+class TestCampaignsCLI:
+    def _run_args(self, store, extra=()):
+        return [
+            "campaigns",
+            "run",
+            "--store",
+            str(store),
+            "--name",
+            "cli-test",
+            "--scenarios",
+            "failure-storm",
+            "--schedulers",
+            "EF",
+            "--repeats",
+            "2",
+            "--scale",
+            "smoke",
+            "--seed",
+            "7",
+            *extra,
+        ]
+
+    def test_campaigns_requires_subcommand_and_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaigns"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaigns", "run"])
+
+    def test_campaigns_run_parses_options(self, tmp_path):
+        args = build_parser().parse_args(
+            self._run_args(
+                tmp_path / "store",
+                [
+                    "--max-cells",
+                    "3",
+                    "--sweep",
+                    "n_rebalances",
+                    "0",
+                    "1",
+                    "--sweep-repeats",
+                    "4",
+                ],
+            )
+        )
+        assert args.command == "campaigns"
+        assert args.campaign_command == "run"
+        assert args.max_cells == 3
+        assert args.sweep == ["n_rebalances", "0", "1"]
+        assert args.sweep_repeats == 4
+
+    def test_interrupted_map_exits_130(self, capsys, monkeypatch):
+        from repro import cli
+        from repro.util.errors import ExperimentInterrupted
+
+        def fake_run_figure(*args, **kwargs):
+            raise ExperimentInterrupted({0: "partial"}, 5)
+
+        monkeypatch.setattr(cli, "run_figure", fake_run_figure)
+        code = main(["fig6", "--scale", "smoke", "--seed", "1"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err and "1/5" in err
+
+    def test_empty_campaign_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            ["campaigns", "run", "--store", str(tmp_path / "s"), "--name", "empty"]
+        )
+        assert code == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_run_interrupt_resume_and_warm_rerun(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        # Interrupt deterministically after 1 computed cell: exit code 3.
+        assert main(self._run_args(store, ["--max-cells", "1"])) == 3
+        out = capsys.readouterr().out
+        assert "interrupted" in out and "1 computed" in out
+        # Status shows the partial state.
+        assert main(["campaigns", "status", "--store", str(store), "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "1/2 cells" in out and "pending" in out
+        # Resume completes the rest.
+        assert main(["campaigns", "resume", "--store", str(store), "cli-test"]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out and "1 cached" in out
+        # Warm rerun computes nothing.
+        assert main(self._run_args(store)) == 0
+        out = capsys.readouterr().out
+        assert "0 computed" in out and "2 cached" in out
+
+    def test_status_lists_campaigns(self, capsys, tmp_path):
+        store = tmp_path / "store"
+        assert main(self._run_args(store)) == 0
+        capsys.readouterr()
+        assert main(["campaigns", "status", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test: complete" in out
+        assert "scenario_cell" in out
+
+    def test_resume_unknown_campaign_fails_cleanly(self, capsys, tmp_path):
+        code = main(["campaigns", "resume", "--store", str(tmp_path / "s"), "nope"])
+        assert code == 2
+        assert "no campaign" in capsys.readouterr().err

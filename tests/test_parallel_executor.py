@@ -8,6 +8,8 @@ executor mechanics (ordering, fallback, construction).
 """
 
 
+import time
+
 import numpy as np
 import pytest
 
@@ -20,6 +22,7 @@ from repro.experiments import (
     sweep_ga_parameter,
 )
 from repro.parallel import (
+    AsyncWorkStealingExecutor,
     ComparisonRepeatJob,
     GARunJob,
     ParallelExecutor,
@@ -29,12 +32,27 @@ from repro.parallel import (
     run_comparison_repeat,
     run_ga_job,
 )
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, ExperimentInterrupted
 from repro.workloads import normal_paper_workload
 
 
 def _square(x):
     return x * x
+
+
+def _interrupting(x):
+    if x == 4:
+        raise KeyboardInterrupt  # simulates Ctrl-C reaching a worker
+    time.sleep(0.01)
+    return x
+
+
+def _touch_marker(arg):
+    index, directory = arg
+    with open(f"{directory}/{index}.marker", "w", encoding="utf8") as handle:
+        handle.write("ran")
+    time.sleep(0.02)
+    return index
 
 
 @pytest.fixture(scope="module")
@@ -110,12 +128,63 @@ class TestExecutors:
             assert executor.map(_square, [7, 8]) == [49, 64]
         assert executor._pool is None
 
+    def test_imap_yields_in_order_for_every_executor(self):
+        jobs = list(range(9))
+        expected = [x * x for x in jobs]
+        assert list(SerialExecutor().imap(_square, jobs)) == expected
+        with ParallelExecutor(2) as executor:
+            assert list(executor.imap(_square, jobs)) == expected
+        with AsyncWorkStealingExecutor(2) as executor:
+            assert list(executor.imap(_square, jobs)) == expected
+
+    def test_serial_imap_is_lazy(self):
+        calls = []
+
+        def record(x):
+            calls.append(x)
+            return x
+
+        stream = SerialExecutor().imap(record, [1, 2, 3])
+        assert calls == []
+        assert next(stream) == 1
+        assert calls == [1]  # later jobs not computed until asked for
+
+    def test_abandoned_imap_cancels_pending_chunks(self, tmp_path):
+        # A consumer that stops early (campaign --max-cells) must not leave
+        # the whole job list queued: close() would otherwise block until
+        # every submitted chunk has run.
+        jobs = [(i, str(tmp_path)) for i in range(40)]
+        executor = ParallelExecutor(2)
+        stream = executor.imap(_touch_marker, jobs)
+        assert [next(stream) for _ in range(3)] == [0, 1, 2]
+        stream.close()  # cancels the not-yet-started chunks
+        executor.close()
+        ran = len(list(tmp_path.glob("*.marker")))
+        assert 3 <= ran < 40  # in-flight jobs may finish; the rest must not
+
+    def test_keyboard_interrupt_terminates_pool_and_surfaces_partials(self):
+        executor = ParallelExecutor(2)
+        start = time.perf_counter()
+        with pytest.raises(ExperimentInterrupted) as info:
+            executor.map(_interrupting, list(range(10)))
+        # The fix: no hang on the pool join — the map fails promptly...
+        assert time.perf_counter() - start < 30.0
+        # ...the worker pool is gone (a later map recreates it)...
+        assert executor._pool is None
+        # ...and completed results are surfaced for checkpointing.
+        assert info.value.total == 10
+        assert all(info.value.partial[i] == i for i in info.value.partial)
+        assert executor.map(_square, [3]) == [9]
+        executor.close()
+
     def test_executor_from_jobs(self):
         assert isinstance(executor_from_jobs(None), SerialExecutor)
         assert isinstance(executor_from_jobs(1), SerialExecutor)
         parallel = executor_from_jobs(2)
         assert isinstance(parallel, ParallelExecutor)
         assert parallel.jobs == 2
+        assert isinstance(executor_from_jobs(2, "async"), AsyncWorkStealingExecutor)
+        assert isinstance(executor_from_jobs(8, "serial"), SerialExecutor)
         with pytest.raises(ConfigurationError):
             executor_from_jobs(0)
 
@@ -133,6 +202,11 @@ class TestExecutors:
     def test_scale_jobs_validated(self):
         with pytest.raises(Exception):
             get_scale("smoke").scaled(jobs=0)
+
+    def test_scale_executor_validated(self):
+        with pytest.raises(ConfigurationError, match="executor"):
+            get_scale("smoke").scaled(executor="cluster")
+        assert get_scale("smoke").scaled(executor="async").executor == "async"
 
 
 class TestComparisonJobDeterminism:
