@@ -1,0 +1,342 @@
+#!/usr/bin/env python3
+"""Benchmark: loop vs vectorized policy-kernel backends, in sims/second.
+
+Times the same seeded static simulation under both policy-kernel backends
+(``policy_backend="loop"`` keeps the historical one-invocation-per-task
+path, ``policy_backend="vectorized"`` computes decisions through the dense
+array kernels of :mod:`repro.schedulers.kernels` and batches whole
+immediate-mode arrival waves through one kernel call) and reports
+simulations/second per backend plus the vectorized/loop speedup.  Before
+any timing it asserts the backends are *bit-identical* — on makespan,
+efficiency, response times, invocation bookkeeping and the full execution
+trace — across all four (policy backend × simulation backend) combinations:
+the kernels are only a win because they change nothing.
+
+Each scale times three cells:
+
+* ``immediate`` — the EF immediate-mode baseline: one policy invocation per
+  task on the loop path, one kernel wave per arrival burst on the
+  vectorized path.  The scheduling-bound worst case the ROADMAP targets,
+  and the cell the ≥2.5x paper-scale floor applies to;
+* ``rotation`` — RR: near-zero decision arithmetic, so the cell isolates
+  the pure per-task Python machinery the wave eliminates;
+* ``batch`` — MM with the scale's fixed batch size: the sort + greedy
+  placement loop routed through the batch kernels.
+
+Two preset sizes are built in: ``smoke`` (CI-sized) and ``paper`` (the
+publication's 10,000-task, 50-processor immediate-mode cell).
+
+Record mode (the default) writes a BENCH json record::
+
+    PYTHONPATH=src python benchmarks/policy_kernel_speed.py \
+        --scale all --output benchmarks/BENCH_policy_kernels.json
+
+Check mode re-measures the requested scale and gates against the committed
+record (used by the CI ``sim-core`` job)::
+
+    PYTHONPATH=src python benchmarks/policy_kernel_speed.py --scale smoke --check
+
+The gate compares *speedups* (vectorized over loop sims/sec), which are
+stable across machines where absolute rates are not.  It fails when any
+cell's vectorized backend falls behind the loop backend (speedup < 1), when
+the ``immediate`` cell regresses more than ``--tolerance`` below the
+committed record, or — at paper scale — when the ``immediate`` speedup
+drops below the 2.5x floor this work targets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.cluster.topology import heterogeneous_cluster
+from repro.schedulers.kernels import POLICY_BACKEND_NAMES
+from repro.schedulers.registry import make_scheduler
+from repro.sim.simulation import SimulationConfig, simulate_schedule
+from repro.workloads.generator import generate_workload
+from repro.workloads.suites import workload_by_name
+
+DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_policy_kernels.json")
+#: Minimum vectorized/loop speedup of the ``immediate`` cell at paper scale.
+PAPER_IMMEDIATE_FLOOR = 2.5
+
+
+@dataclass(frozen=True)
+class PolicyScale:
+    """One benchmark problem size."""
+
+    name: str
+    n_tasks: int
+    n_processors: int
+    batch_size: int
+    mean_comm_cost: float
+
+
+SCALES: Dict[str, PolicyScale] = {
+    "smoke": PolicyScale(
+        name="smoke", n_tasks=600, n_processors=10, batch_size=120, mean_comm_cost=5.0
+    ),
+    "paper": PolicyScale(
+        name="paper", n_tasks=10000, n_processors=50, batch_size=200, mean_comm_cost=20.0
+    ),
+}
+
+#: The three timed cells: (cell name, scheduler, batch size resolver).
+CELLS = (
+    ("immediate", "EF", lambda scale: scale.batch_size),
+    ("rotation", "RR", lambda scale: scale.batch_size),
+    ("batch", "MM", lambda scale: scale.batch_size),
+)
+
+
+def build_inputs(scale: PolicyScale, seed: int):
+    """The workload and cluster shared by every cell of one scale."""
+    tasks = generate_workload(
+        workload_by_name("normal", scale.n_tasks), np.random.default_rng(seed)
+    )
+    cluster = heterogeneous_cluster(
+        scale.n_processors,
+        mean_comm_cost=scale.mean_comm_cost,
+        rng=np.random.default_rng(seed + 1),
+    )
+    return tasks, cluster
+
+
+def run_once(
+    scale: PolicyScale,
+    scheduler_name: str,
+    batch_size: int,
+    policy_backend: str,
+    seed: int,
+    sim_backend: str = "fast",
+):
+    tasks, cluster = build_inputs(scale, seed)
+    scheduler = make_scheduler(
+        scheduler_name,
+        n_processors=scale.n_processors,
+        batch_size=batch_size,
+        max_generations=10,
+        rng=seed + 2,
+    )
+    start = time.perf_counter()
+    result = simulate_schedule(
+        scheduler,
+        cluster,
+        tasks,
+        config=SimulationConfig(sim_backend=sim_backend, policy_backend=policy_backend),
+        rng=seed + 3,
+    )
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def result_digest(result) -> str:
+    """Digest of every trace-visible number (for the backend-parity check)."""
+    h = hashlib.sha256()
+    trace = result.trace
+    for name in (
+        "task_id",
+        "proc_id",
+        "size_mflops",
+        "arrival_time",
+        "assigned_time",
+        "dispatch_time",
+        "exec_start",
+        "exec_end",
+    ):
+        h.update(trace.column(name).tobytes())
+    h.update(repr((result.makespan, result.efficiency)).encode())
+    h.update(repr(result.metrics.mean_response_time).encode())
+    h.update(repr(result.scheduler_invocations).encode())
+    h.update(repr(tuple(result.batch_sizes)).encode())
+    return h.hexdigest()
+
+
+def assert_backend_parity(scale: PolicyScale, seed: int) -> None:
+    """Fail loudly if any backend combination diverges on this scale's cells.
+
+    Covers the full (policy backend x simulation backend) grid so the
+    vectorized wave is gated against the per-task path on *both* simulation
+    cores — the wave runs in the master and must be invisible to each.
+    """
+    for cell, scheduler_name, batch_of in CELLS:
+        digests = set()
+        for policy_backend in POLICY_BACKEND_NAMES:
+            for sim_backend in ("event", "fast"):
+                result, _ = run_once(
+                    scale, scheduler_name, batch_of(scale), policy_backend, seed,
+                    sim_backend=sim_backend,
+                )
+                digests.add(result_digest(result))
+        if len(digests) != 1:
+            raise SystemExit(
+                f"backend parity violated on scale={scale.name} cell={cell}: "
+                "loop/vectorized (or event/fast) simulation results differ"
+            )
+
+
+def measure_cell(
+    scale: PolicyScale, scheduler_name: str, batch_size: int, seed: int, repeats: int
+):
+    """Best-of-*repeats* sims/sec per policy backend."""
+    best: Dict[str, float] = {}
+    invocations = 0
+    for policy_backend in POLICY_BACKEND_NAMES:
+        fastest = float("inf")
+        for _ in range(repeats):
+            result, elapsed = run_once(
+                scale, scheduler_name, batch_size, policy_backend, seed
+            )
+            fastest = min(fastest, elapsed)
+            invocations = result.scheduler_invocations
+        best[policy_backend] = fastest
+    return {
+        "scheduler": scheduler_name,
+        "batch_size": batch_size,
+        "scheduler_invocations": invocations,
+        "sims_per_second": {
+            "loop": round(1.0 / best["loop"], 3),
+            "vectorized": round(1.0 / best["vectorized"], 3),
+        },
+        "speedup": round(best["loop"] / best["vectorized"], 3),
+    }
+
+
+def measure_scale(scale: PolicyScale, seed: int, repeats: int) -> Dict[str, object]:
+    assert_backend_parity(scale, seed)
+    cells = {
+        cell: measure_cell(scale, scheduler_name, batch_of(scale), seed, repeats)
+        for cell, scheduler_name, batch_of in CELLS
+    }
+    return {
+        "n_tasks": scale.n_tasks,
+        "n_processors": scale.n_processors,
+        "batch_size": scale.batch_size,
+        "mean_comm_cost": scale.mean_comm_cost,
+        "backend_parity": "bit-identical",
+        "cells": cells,
+    }
+
+
+def run_record(args: argparse.Namespace) -> int:
+    names = sorted(SCALES) if args.scale == "all" else [args.scale]
+    record = {
+        "benchmark": "policy_kernel_speed/loop_vs_vectorized",
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "min_immediate_speedup_paper": PAPER_IMMEDIATE_FLOOR,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "scales": {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names},
+    }
+    print(json.dumps(record, indent=2))
+    if args.output:
+        with open(args.output, "w", encoding="utf8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+    return 0
+
+
+def run_check(args: argparse.Namespace) -> int:
+    if args.scale == "all":
+        print("error: --check gates one scale at a time", file=sys.stderr)
+        return 2
+    with open(args.record, encoding="utf8") as handle:
+        committed = json.load(handle)
+    reference = committed["scales"].get(args.scale)
+    if reference is None:
+        print(f"error: {args.record} has no '{args.scale}' scale", file=sys.stderr)
+        return 2
+
+    measured = measure_scale(SCALES[args.scale], args.seed, args.repeats)
+    print(json.dumps(measured, indent=2))
+
+    failed = False
+    for cell, data in measured["cells"].items():
+        if data["speedup"] < 1.0:
+            print(
+                f"FAIL [{cell}]: vectorized backend is slower than the loop backend "
+                f"({data['speedup']:.2f}x)",
+                file=sys.stderr,
+            )
+            failed = True
+
+    immediate = measured["cells"]["immediate"]["speedup"]
+    reference_immediate = reference["cells"]["immediate"]["speedup"]
+    floor = reference_immediate * (1.0 - args.tolerance)
+    print(
+        f"policy_kernel_speed --check [{args.scale}]: immediate speedup "
+        f"{immediate:.2f}x, committed {reference_immediate:.2f}x, floor {floor:.2f}x"
+    )
+    if immediate < floor:
+        print(
+            f"FAIL: immediate speedup regressed more than {args.tolerance:.0%} below "
+            f"the committed record ({immediate:.2f}x < {floor:.2f}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.scale == "paper" and immediate < PAPER_IMMEDIATE_FLOOR:
+        print(
+            f"FAIL: paper-scale immediate speedup below the "
+            f"{PAPER_IMMEDIATE_FLOOR:.1f}x target ({immediate:.2f}x)",
+            file=sys.stderr,
+        )
+        failed = True
+    if failed:
+        return 1
+    print("PASS: vectorized policy kernels within budget (and bit-identical)")
+    return 0
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default="all",
+        choices=[*sorted(SCALES), "all"],
+        help="benchmark size to run (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats; the best is kept"
+    )
+    parser.add_argument("--output", default=None, help="write the BENCH json here")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the measured speedups against the committed record",
+    )
+    parser.add_argument(
+        "--record",
+        default=DEFAULT_RECORD,
+        help="committed BENCH json to gate against (with --check)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.3,
+        help="allowed fractional speedup regression before --check fails",
+    )
+    return parser.parse_args()
+
+
+def main() -> int:
+    args = parse_args()
+    if args.check:
+        return run_check(args)
+    return run_record(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -177,7 +177,11 @@ def expand_campaign(spec: CampaignSpec) -> CampaignPlan:
     if spec.scenarios:
         specs = resolve_scenario_specs(spec.scenarios, scale)
         n_repeats = int(spec.repeats) if spec.repeats is not None else scale.repeats
-        sim_config = SimulationConfig(sim_backend=scale.sim_backend, phase_timing=True)
+        sim_config = SimulationConfig(
+            sim_backend=scale.sim_backend,
+            policy_backend=scale.policy_backend,
+            phase_timing=True,
+        )
         scenario_cells, scheduler_union = build_scenario_cells(
             specs,
             scale=scale,

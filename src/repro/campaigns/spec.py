@@ -19,6 +19,7 @@ from ..experiments.config import ExperimentScale, SCALES, get_scale
 from ..experiments.figures import FIGURES
 from ..ga.kernels import BACKEND_NAMES
 from ..scenarios.registry import scenario_names
+from ..schedulers.kernels import POLICY_BACKEND_NAMES
 from ..schedulers.registry import ALL_SCHEDULER_NAMES
 from ..sim.simulation import SIM_BACKENDS
 from ..util.errors import ConfigurationError
@@ -92,7 +93,7 @@ class CampaignSpec:
         Optional repeat override for the scenario matrix.
     sweeps:
         GA parameter sweeps.
-    ga_backend, sim_backend:
+    ga_backend, sim_backend, policy_backend:
         Optional backend overrides applied to the scale.  Part of every
         cell's cache key: results from different backends are stored — and
         proven bit-identical — separately.
@@ -108,6 +109,7 @@ class CampaignSpec:
     sweeps: Tuple[SweepSpec, ...] = field(default_factory=tuple)
     ga_backend: Optional[str] = None
     sim_backend: Optional[str] = None
+    policy_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name or not str(self.name).strip():
@@ -161,6 +163,14 @@ class CampaignSpec:
                 f"unknown sim_backend {self.sim_backend!r}; "
                 f"expected one of {list(SIM_BACKENDS)}"
             )
+        if (
+            self.policy_backend is not None
+            and self.policy_backend not in POLICY_BACKEND_NAMES
+        ):
+            raise ConfigurationError(
+                f"unknown policy_backend {self.policy_backend!r}; "
+                f"expected one of {list(POLICY_BACKEND_NAMES)}"
+            )
 
     def experiment_scale(self) -> ExperimentScale:
         """The scale preset with the campaign's backend overrides applied."""
@@ -170,6 +180,8 @@ class CampaignSpec:
             overrides["ga_backend"] = self.ga_backend
         if self.sim_backend is not None:
             overrides["sim_backend"] = self.sim_backend
+        if self.policy_backend is not None:
+            overrides["policy_backend"] = self.policy_backend
         return scale.scaled(**overrides) if overrides else scale
 
     def to_dict(self) -> Dict:
@@ -213,4 +225,5 @@ class CampaignSpec:
             sweeps=sweeps,
             ga_backend=payload.get("ga_backend"),
             sim_backend=payload.get("sim_backend"),
+            policy_backend=payload.get("policy_backend"),
         )

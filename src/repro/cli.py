@@ -50,6 +50,7 @@ from .ga.kernels import BACKEND_NAMES
 from .io.results import save_scenario_matrix_json
 from .parallel import EXECUTOR_KINDS, executor_from_jobs
 from .scenarios import make_all_scenarios, run_scenario_matrix, scenario_names
+from .schedulers.kernels import POLICY_BACKEND_NAMES
 from .schedulers.registry import ALL_SCHEDULER_NAMES
 from .sim.simulation import SIM_BACKENDS
 from .util.errors import ExperimentInterrupted, ReproError
@@ -306,6 +307,18 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
             "way (see repro.sim.fastpath)"
         ),
     )
+    parser.add_argument(
+        "--policy-backend",
+        default=None,
+        choices=sorted(POLICY_BACKEND_NAMES),
+        help=(
+            "policy-kernel backend of the heuristic schedulers: "
+            "'vectorized' computes decisions with dense-array kernels and "
+            "batches whole immediate-mode arrival waves (default), 'loop' "
+            "is the per-task reference path; results are bit-identical "
+            "either way (see repro.schedulers.kernels)"
+        ),
+    )
 
 
 def _normalize_jobs(jobs: Optional[int]) -> Optional[int]:
@@ -330,6 +343,9 @@ def _scale_from_args(args: argparse.Namespace):
     sim_backend = getattr(args, "sim_backend", None)
     if sim_backend is not None:
         scale = scale.scaled(sim_backend=sim_backend)
+    policy_backend = getattr(args, "policy_backend", None)
+    if policy_backend is not None:
+        scale = scale.scaled(policy_backend=policy_backend)
     return scale
 
 
@@ -345,7 +361,7 @@ def _cmd_list() -> int:
             f"procs={scale.n_processors} batch={scale.batch_size} "
             f"generations={scale.max_generations} repeats={scale.repeats} "
             f"jobs={scale.jobs} ga-backend={scale.ga_backend} "
-            f"sim-backend={scale.sim_backend}"
+            f"sim-backend={scale.sim_backend} policy-backend={scale.policy_backend}"
         )
     return 0
 
@@ -484,6 +500,7 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         sweeps=sweeps,
         ga_backend=args.ga_backend,
         sim_backend=args.sim_backend,
+        policy_backend=args.policy_backend,
     )
 
 

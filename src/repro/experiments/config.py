@@ -17,6 +17,7 @@ from typing import Dict, List, Sequence
 
 from ..ga.kernels import BACKEND_NAMES
 from ..parallel.executor import EXECUTOR_KINDS
+from ..schedulers.kernels import POLICY_BACKEND_NAMES
 from ..sim.simulation import SIM_BACKENDS
 from ..util.errors import ConfigurationError
 from ..util.validation import require_positive_int
@@ -74,6 +75,13 @@ class ExperimentScale:
         batched static-replay backend, the default — or ``"event"`` — the
         discrete-event engine).  Both produce bit-identical results; see
         :mod:`repro.sim.fastpath`.  CLI ``--sim-backend`` overrides it.
+    policy_backend:
+        Policy-kernel backend of the heuristic schedulers
+        (``"vectorized"`` — dense-array kernels plus the batched
+        immediate-mode wave, the default — or ``"loop"`` — the per-task
+        reference path).  Both produce bit-identical results; see
+        :mod:`repro.schedulers.kernels`.  CLI ``--policy-backend``
+        overrides it.
     """
 
     name: str
@@ -90,6 +98,7 @@ class ExperimentScale:
     executor: str = "process"
     ga_backend: str = "vectorized"
     sim_backend: str = "fast"
+    policy_backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         require_positive_int(self.n_tasks, "n_tasks")
@@ -113,6 +122,11 @@ class ExperimentScale:
             raise ConfigurationError(
                 f"unknown sim_backend {self.sim_backend!r}; "
                 f"expected one of {list(SIM_BACKENDS)}"
+            )
+        if self.policy_backend not in POLICY_BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown policy_backend {self.policy_backend!r}; "
+                f"expected one of {list(POLICY_BACKEND_NAMES)}"
             )
         if not self.comm_cost_means:
             raise ConfigurationError("comm_cost_means must contain at least one value")

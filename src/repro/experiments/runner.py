@@ -151,9 +151,12 @@ def compare_schedulers(
         raise ConfigurationError(f"unknown schedulers requested: {unknown}")
     executor = resolve_executor(executor, scale.jobs, scale.executor)
     if sim_config is None:
-        # An explicit sim_config wins; otherwise the scale's simulation
-        # backend choice (CLI --sim-backend) is threaded into every repeat.
-        sim_config = SimulationConfig(sim_backend=scale.sim_backend)
+        # An explicit sim_config wins; otherwise the scale's simulation and
+        # policy backend choices (CLI --sim-backend / --policy-backend) are
+        # threaded into every repeat.
+        sim_config = SimulationConfig(
+            sim_backend=scale.sim_backend, policy_backend=scale.policy_backend
+        )
 
     # One 64-bit draw per repeat from the master stream, exactly as the serial
     # harness has always consumed it; each draw seeds the repeat's private

@@ -453,12 +453,17 @@ def run_scenario_matrix(
         executor, jobs if jobs is not None else scale.jobs, scale.executor
     )
     if sim_config is None:
-        # An explicit sim_config wins; otherwise the scale's simulation
-        # backend choice (CLI --sim-backend) is threaded into every cell.
-        # Phase timing is on for matrix cells: the per-phase records guide
-        # hot-path work and the per-cell clock reads are in the noise next
-        # to each cell's workload/cluster construction.
-        sim_config = SimulationConfig(sim_backend=scale.sim_backend, phase_timing=True)
+        # An explicit sim_config wins; otherwise the scale's simulation and
+        # policy backend choices (CLI --sim-backend / --policy-backend) are
+        # threaded into every cell.  Phase timing is on for matrix cells:
+        # the per-phase records guide hot-path work and the per-cell clock
+        # reads are in the noise next to each cell's workload/cluster
+        # construction.
+        sim_config = SimulationConfig(
+            sim_backend=scale.sim_backend,
+            policy_backend=scale.policy_backend,
+            phase_timing=True,
+        )
     cells, scheduler_union = build_scenario_cells(
         specs,
         scale=scale,

@@ -14,6 +14,14 @@ from .base import (
     SchedulingContext,
 )
 from .earliest_first import EarliestFirstScheduler
+from .kernels import (
+    POLICY_BACKEND_NAMES,
+    LoopPolicyBackend,
+    PolicyKernelBackend,
+    VectorizedPolicyBackend,
+    default_policy_backend,
+    policy_backend_from_name,
+)
 from .extended import (
     EXTENDED_SCHEDULER_NAMES,
     MinimumExecutionTimeScheduler,
@@ -56,4 +64,10 @@ __all__ = [
     "BATCH_SCHEDULER_NAMES",
     "make_scheduler",
     "make_all_schedulers",
+    "POLICY_BACKEND_NAMES",
+    "PolicyKernelBackend",
+    "LoopPolicyBackend",
+    "VectorizedPolicyBackend",
+    "policy_backend_from_name",
+    "default_policy_backend",
 ]

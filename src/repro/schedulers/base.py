@@ -20,6 +20,7 @@ import numpy as np
 from ..util.errors import ConfigurationError, SchedulingError
 from ..util.rng import ensure_rng
 from ..workloads.task import Task
+from .kernels import PolicyKernelBackend, default_policy_backend
 
 __all__ = [
     "SchedulerMode",
@@ -60,6 +61,11 @@ class SchedulingContext:
         link (the smoothed ``Γ_c`` estimates; zero when nothing is known).
     rng:
         Randomness source the policy may use (GA schedulers do).
+    kernels:
+        The policy-kernel backend the heuristic policies compute their
+        decisions through (see :mod:`repro.schedulers.kernels`).  Both
+        backends are bit-identical; ``None`` selects the default
+        (vectorized) backend.
     """
 
     time: float
@@ -67,6 +73,7 @@ class SchedulingContext:
     pending_loads: np.ndarray
     comm_costs: np.ndarray
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    kernels: Optional[PolicyKernelBackend] = None
 
     def __post_init__(self) -> None:
         self.rates = np.asarray(self.rates, dtype=float)
@@ -84,6 +91,12 @@ class SchedulingContext:
         if np.any(self.pending_loads < 0) or np.any(self.comm_costs < 0):
             raise ConfigurationError("pending loads and comm costs must be non-negative")
         self.rng = ensure_rng(self.rng)
+        if self.kernels is None:
+            self.kernels = default_policy_backend()
+        elif not isinstance(self.kernels, PolicyKernelBackend):
+            raise ConfigurationError(
+                f"kernels must be a PolicyKernelBackend, got {type(self.kernels).__name__}"
+            )
 
     @classmethod
     def trusted(
@@ -93,6 +106,7 @@ class SchedulingContext:
         pending_loads: np.ndarray,
         comm_costs: np.ndarray,
         rng: np.random.Generator,
+        kernels: Optional[PolicyKernelBackend] = None,
     ) -> "SchedulingContext":
         """Build a context from already-validated float64 arrays.
 
@@ -107,6 +121,7 @@ class SchedulingContext:
         ctx.pending_loads = pending_loads
         ctx.comm_costs = comm_costs
         ctx.rng = rng
+        ctx.kernels = kernels if kernels is not None else default_policy_backend()
         return ctx
 
     @property
@@ -132,6 +147,7 @@ class SchedulingContext:
             self.pending_loads.copy(),
             self.comm_costs.copy(),
             self.rng,
+            self.kernels,
         )
 
 
@@ -284,6 +300,25 @@ class ImmediateScheduler(Scheduler):
     Subclasses implement :meth:`select_processor`.  When handed several tasks
     at once the policy applies itself sequentially, updating its view of the
     pending loads after each placement so later tasks see earlier decisions.
+
+    Copy-and-update contract
+    ------------------------
+    :meth:`schedule` works on ``working = ctx.copy()`` and, between
+    placements, updates **only** ``working.pending_loads`` (each placed
+    task's size is added to its processor's entry).  ``time``, ``rates``
+    and ``comm_costs`` are deliberately frozen for the whole invocation:
+    in the simulation they only change through the master's
+    ``observe_dispatch`` / ``observe_completion`` feedback, which can never
+    run between two placements of the same invocation.  A subclass whose
+    decisions read derived quantities (finish-time estimates, ready times)
+    must therefore derive them from ``working.pending_loads`` at
+    selection time — any value cached across placements goes stale the
+    moment an earlier task is placed.
+
+    The batched kernel wave (``Master._schedule_wave`` with the vectorized
+    backend) mirrors exactly this contract: one dense loads vector evolving
+    per placement, every other context field frozen — which is why it is
+    bit-identical to N single-task invocations.
     """
 
     mode = SchedulerMode.IMMEDIATE
@@ -291,6 +326,22 @@ class ImmediateScheduler(Scheduler):
     @abstractmethod
     def select_processor(self, task: Task, ctx: SchedulingContext) -> int:
         """Return the processor index the task should join."""
+
+    def select_processors_wave(
+        self, sizes: np.ndarray, ctx: SchedulingContext
+    ) -> Optional[np.ndarray]:
+        """Place a whole arrival wave through one kernel call, or decline.
+
+        Returns the selected processor per task (int64, FCFS order), with
+        ``ctx.pending_loads`` evolving per placement exactly as the
+        sequential path would evolve its working copy — see the wave
+        contract in :mod:`repro.schedulers.kernels`.  The default returns
+        ``None``: the master falls back to one :meth:`schedule` call per
+        task.  Implementors must keep the default immediate-mode
+        ``preferred_batch_size`` contract (one task per invocation), which
+        is what the master's wave bookkeeping mirrors.
+        """
+        return None
 
     def schedule(self, tasks: Sequence[Task], ctx: SchedulingContext) -> ScheduleAssignment:
         working = ctx.copy()

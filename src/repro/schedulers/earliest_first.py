@@ -19,10 +19,17 @@ __all__ = ["EarliestFirstScheduler"]
 
 
 class EarliestFirstScheduler(ImmediateScheduler):
-    """Assign each task to the processor that would finish it the earliest."""
+    """Assign each task to the processor that would finish it the earliest.
+
+    Ties (identical finish times) go to the lowest-indexed processor, in
+    both the per-task path below and the batched wave kernel.
+    """
 
     name = "EF"
 
     def select_processor(self, task: Task, ctx: SchedulingContext) -> int:
         finish_times = (ctx.pending_loads + task.size_mflops) / ctx.rates
         return int(np.argmin(finish_times))
+
+    def select_processors_wave(self, sizes: np.ndarray, ctx: SchedulingContext):
+        return ctx.kernels.earliest_finish_wave(sizes, ctx.pending_loads, ctx.rates)

@@ -58,6 +58,9 @@ class MinimumExecutionTimeScheduler(ImmediateScheduler):
         execution_times = task.size_mflops / ctx.rates
         return int(np.argmin(execution_times))
 
+    def select_processors_wave(self, sizes: np.ndarray, ctx: SchedulingContext):
+        return ctx.kernels.minimum_execution_wave(sizes, ctx.pending_loads, ctx.rates)
+
 
 class OpportunisticLoadBalancingScheduler(ImmediateScheduler):
     """OLB: assign each task to the processor expected to become free soonest.
@@ -73,6 +76,9 @@ class OpportunisticLoadBalancingScheduler(ImmediateScheduler):
         ready_times = ctx.pending_loads / ctx.rates
         return int(np.argmin(ready_times))
 
+    def select_processors_wave(self, sizes: np.ndarray, ctx: SchedulingContext):
+        return ctx.kernels.opportunistic_wave(sizes, ctx.pending_loads, ctx.rates)
+
 
 class SufferageScheduler(BatchScheduler):
     """Sufferage: prioritise the task that loses the most if not mapped now.
@@ -81,7 +87,14 @@ class SufferageScheduler(BatchScheduler):
     second-best and best completion times over all processors.  Each round the
     task with the largest sufferage is mapped to its best processor, the loads
     are updated, and the process repeats until the batch is empty.
-    Θ(n² · M) per batch in this straightforward implementation.
+    Θ(n² · M) per batch through the policy-kernel backend.
+
+    A task's best processor is the *lowest-indexed* minimiser of its
+    completion vector and ties between equal sufferages go to the earliest
+    (FCFS) task.  The historical implementation picked the "best" processor
+    from an unstable ``np.argsort``, whose order between exactly equal
+    completion times is unspecified — the kernels use ``argmin`` plus a
+    masked second-best minimum instead, making the tie-break deterministic.
     """
 
     name = "SU"
@@ -90,26 +103,13 @@ class SufferageScheduler(BatchScheduler):
         super().__init__(batch_size)
 
     def schedule(self, tasks: Sequence[Task], ctx: SchedulingContext) -> ScheduleAssignment:
-        loads = ctx.pending_loads.copy()
-        remaining = list(tasks)
         queues: List[List[int]] = [[] for _ in range(ctx.n_processors)]
-        while remaining:
-            best_task_index = -1
-            best_sufferage = -np.inf
-            best_proc = 0
-            for index, task in enumerate(remaining):
-                completion = (loads + task.size_mflops) / ctx.rates
-                order = np.argsort(completion)
-                first = int(order[0])
-                if completion.size > 1:
-                    sufferage = float(completion[order[1]] - completion[first])
-                else:
-                    sufferage = 0.0
-                if sufferage > best_sufferage:
-                    best_sufferage = sufferage
-                    best_task_index = index
-                    best_proc = first
-            chosen = remaining.pop(best_task_index)
-            queues[best_proc].append(chosen.task_id)
-            loads[best_proc] += chosen.size_mflops
+        if tasks:
+            sizes = np.array([task.size_mflops for task in tasks], dtype=float)
+            ids = [task.task_id for task in tasks]
+            order, procs = ctx.kernels.sufferage_batch(
+                sizes, ctx.pending_loads.copy(), ctx.rates
+            )
+            for index, proc in zip(order.tolist(), procs.tolist()):
+                queues[proc].append(ids[index])
         return ScheduleAssignment(queues)

@@ -18,9 +18,16 @@ __all__ = ["LightestLoadedScheduler"]
 
 
 class LightestLoadedScheduler(ImmediateScheduler):
-    """Assign each task to the processor with the least outstanding MFLOPs."""
+    """Assign each task to the processor with the least outstanding MFLOPs.
+
+    Ties (identical pending loads) go to the lowest-indexed processor, in
+    both the per-task path below and the batched wave kernel.
+    """
 
     name = "LL"
 
     def select_processor(self, task: Task, ctx: SchedulingContext) -> int:
         return int(np.argmin(ctx.pending_loads))
+
+    def select_processors_wave(self, sizes: np.ndarray, ctx: SchedulingContext):
+        return ctx.kernels.lightest_loaded_wave(sizes, ctx.pending_loads)

@@ -17,7 +17,13 @@ __all__ = ["MaxMinScheduler"]
 
 
 class MaxMinScheduler(MinMinScheduler):
-    """Largest-task-first batch heuristic using earliest-finish placement."""
+    """Largest-task-first batch heuristic using earliest-finish placement.
+
+    Equal-size tasks are placed in FCFS (ascending task id) order: the sort
+    key is ``(-size, task_id)``, not ``(size, task_id)`` with
+    ``reverse=True`` — the latter (the historical implementation) silently
+    reversed the id tie-break and placed equal-size tasks newest-first.
+    """
 
     name = "MX"
     descending = True

@@ -20,7 +20,14 @@ __all__ = ["MinMinScheduler"]
 
 
 class MinMinScheduler(BatchScheduler):
-    """Smallest-task-first batch heuristic using earliest-finish placement."""
+    """Smallest-task-first batch heuristic using earliest-finish placement.
+
+    The batch is placed through the context's policy-kernel backend
+    (:meth:`~repro.schedulers.kernels.PolicyKernelBackend.greedy_finish_batch`):
+    tasks are ordered by ``(size, task_id)`` — equal-size tasks always in
+    FCFS (ascending id) order, in *both* sort directions — and each is
+    placed on the lowest-indexed processor minimising its finish time.
+    """
 
     name = "MM"
     #: Sort direction; the max-min scheduler flips this flag.
@@ -30,14 +37,14 @@ class MinMinScheduler(BatchScheduler):
         super().__init__(batch_size)
 
     def schedule(self, tasks: Sequence[Task], ctx: SchedulingContext) -> ScheduleAssignment:
-        ordered = sorted(
-            tasks, key=lambda t: (t.size_mflops, t.task_id), reverse=self.descending
-        )
-        loads = ctx.pending_loads.copy()
         queues: List[List[int]] = [[] for _ in range(ctx.n_processors)]
-        for task in ordered:
-            finish_times = (loads + task.size_mflops) / ctx.rates
-            proc = int(np.argmin(finish_times))
-            queues[proc].append(task.task_id)
-            loads[proc] += task.size_mflops
+        if tasks:
+            sizes = np.array([task.size_mflops for task in tasks], dtype=float)
+            task_ids = np.array([task.task_id for task in tasks], dtype=np.int64)
+            order, procs = ctx.kernels.greedy_finish_batch(
+                sizes, task_ids, ctx.pending_loads.copy(), ctx.rates, self.descending
+            )
+            ids = task_ids.tolist()
+            for index, proc in zip(order.tolist(), procs.tolist()):
+                queues[proc].append(ids[index])
         return ScheduleAssignment(queues)

@@ -28,6 +28,12 @@ class RoundRobinScheduler(ImmediateScheduler):
         self._next = (self._next + 1) % ctx.n_processors
         return proc
 
+    def select_processors_wave(self, sizes, ctx: SchedulingContext):
+        procs, self._next = ctx.kernels.round_robin_wave(
+            len(sizes), ctx.n_processors, self._next
+        )
+        return procs
+
     def reset(self) -> None:
         """Restart the rotation from the configured starting processor."""
         self._next = self._start

@@ -20,11 +20,13 @@ from typing import Deque, Dict, List, Optional, Set
 import numpy as np
 
 from ..schedulers.base import (
+    ImmediateScheduler,
     ScheduleAssignment,
     Scheduler,
     SchedulerMode,
     SchedulingContext,
 )
+from ..schedulers.kernels import policy_backend_from_name
 from ..util.errors import SimulationError
 from ..util.rng import RNGLike, ensure_rng
 from ..util.smoothing import SmoothedMap
@@ -51,6 +53,7 @@ class Master:
         *,
         comm_nu: float = 0.5,
         rate_nu: float = 0.5,
+        policy_backend: str = "vectorized",
         rng: RNGLike = None,
     ):
         if n_processors <= 0:
@@ -65,6 +68,11 @@ class Master:
         self.n_processors = int(n_processors)
         self._initial_rates = initial_rates.copy()
         self._rng = ensure_rng(rng)
+        #: Policy-kernel backend threaded into every scheduling context (see
+        #: :mod:`repro.schedulers.kernels`).  Both backends are bit-identical;
+        #: the vectorized backend additionally enables the batched
+        #: immediate-mode wave of :meth:`_schedule_wave`.
+        self.policy_kernels = policy_backend_from_name(policy_backend)
 
         self.unscheduled: Deque[Task] = deque()
         self.proc_queues: List[Deque[Task]] = [deque() for _ in range(n_processors)]
@@ -212,7 +220,9 @@ class Master:
         # The master's arrays already satisfy every context invariant (float64,
         # matching shapes, positive rates, non-negative loads/costs), so skip
         # the validating constructor on this per-invocation path.
-        return SchedulingContext.trusted(time, rates, loads, comm_costs, self._rng)
+        return SchedulingContext.trusted(
+            time, rates, loads, comm_costs, self._rng, self.policy_kernels
+        )
 
     # -- scheduling ------------------------------------------------------------------------
     def run_scheduler_once(self, time: float) -> Optional[ScheduleAssignment]:
@@ -270,11 +280,56 @@ class Master:
         self.batch_sizes.append(len(batch))
         return assignment
 
+    def _schedule_wave(self, time: float) -> Optional[int]:
+        """Place the whole unscheduled queue through one kernel invocation.
+
+        The batched immediate-mode wave: instead of one ``schedule()`` call,
+        context build and assignment object per task, the policy's wave
+        kernel places every queued task in FCFS order against one dense
+        loads vector (see the wave contract in
+        :mod:`repro.schedulers.kernels`).  Within one scheduling event the
+        rates and comm estimates are frozen — feedback observations only
+        run between events — so the wave is bit-identical to N single-task
+        invocations; the bookkeeping mirrors them exactly (N invocations of
+        batch size 1, per-task assignment times).
+
+        Returns ``None`` when the policy declines (no wave kernel), letting
+        the caller fall back to the per-task path.  Only called with every
+        processor online: offline diversion stays on the per-task path.
+        """
+        ctx = self.build_context(time)
+        tasks = list(self.unscheduled)
+        sizes = np.array([task.size_mflops for task in tasks], dtype=float)
+        procs = self.scheduler.select_processors_wave(sizes, ctx)
+        if procs is None:
+            return None
+        if procs.shape != (len(tasks),) or (
+            len(tasks) and (procs.min() < 0 or procs.max() >= self.n_processors)
+        ):
+            raise SimulationError(
+                f"scheduler {self.scheduler.name}: wave kernel returned an "
+                f"invalid processor selection"
+            )
+        self.unscheduled.clear()
+        proc_queues = self.proc_queues
+        pending_loads = self.pending_loads
+        assigned_time = self._assigned_time
+        for task, proc in zip(tasks, procs.tolist()):
+            proc_queues[proc].append(task)
+            pending_loads[proc] += task.size_mflops
+            assigned_time[task.task_id] = time
+        self.invocations += len(tasks)
+        self.batch_sizes.extend([1] * len(tasks))
+        return len(tasks)
+
     def schedule_all_available(self, time: float) -> int:
         """Invoke the policy repeatedly until the unscheduled queue is drained
         or the policy declines to take more work.
 
-        Immediate-mode policies consume everything in one pass; batch-mode
+        Immediate-mode policies consume everything in one pass — batched
+        into a single wave-kernel invocation when the policy backend is
+        vectorized, every worker is online and the policy provides a wave
+        kernel (bit-identical to the per-task path either way); batch-mode
         policies are re-invoked while there are still unscheduled tasks *and*
         at least one processor queue is empty, which mirrors the paper's goal
         of never letting a processor sit idle while work exists.
@@ -286,6 +341,16 @@ class Master:
         online = self.online_processors()
         if not online:
             return 0
+        if (
+            immediate
+            and self.unscheduled
+            and not self._offline
+            and self.policy_kernels.batches_immediate_waves
+            and isinstance(self.scheduler, ImmediateScheduler)
+        ):
+            waved = self._schedule_wave(time)
+            if waved is not None:
+                return waved
         while self.unscheduled:
             if not immediate:
                 empty_queue_exists = any(len(self.proc_queues[p]) == 0 for p in online)

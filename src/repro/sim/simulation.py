@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequ
 
 from ..cluster.cluster import Cluster
 from ..schedulers.base import Scheduler
+from ..schedulers.kernels import POLICY_BACKEND_NAMES
 from ..util.errors import SimulationError
 from ..util.rng import RNGLike, spawn_rngs
 from ..workloads.task import Task, TaskSet
@@ -102,6 +103,12 @@ class SimulationConfig:
     #: event loop automatically), ``"event"`` always pumps the
     #: discrete-event engine.
     sim_backend: str = "fast"
+    #: Policy-kernel backend of the heuristic schedulers (see
+    #: :mod:`repro.schedulers.kernels`): ``"vectorized"`` (dense-array
+    #: kernels plus the batched immediate-mode wave, the default) or
+    #: ``"loop"`` (the per-task reference path).  Both are bit-identical;
+    #: only wall-clock speed differs.
+    policy_backend: str = "vectorized"
     #: Attribute wall-clock cost to simulation phases (``scheduling`` —
     #: policy invocations, ``dispatch`` — worker fetches and communication
     #: sampling, ``drain`` — completion processing, including the fast
@@ -115,6 +122,11 @@ class SimulationConfig:
             raise SimulationError(
                 f"unknown sim_backend {self.sim_backend!r}; "
                 f"expected one of {list(SIM_BACKENDS)}"
+            )
+        if self.policy_backend not in POLICY_BACKEND_NAMES:
+            raise SimulationError(
+                f"unknown policy_backend {self.policy_backend!r}; "
+                f"expected one of {list(POLICY_BACKEND_NAMES)}"
             )
 
 
@@ -186,6 +198,7 @@ class DistributedSystemSimulation:
             initial_rates=cluster.current_rates(0.0),
             comm_nu=self.config.comm_nu,
             rate_nu=self.config.rate_nu,
+            policy_backend=self.config.policy_backend,
             rng=master_rng,
         )
         self.workers = [WorkerState(processor=proc) for proc in cluster.processors]

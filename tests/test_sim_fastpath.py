@@ -65,6 +65,7 @@ def run_backend(
     mean_comm_cost=8.0,
     seed=0,
     time_horizon=None,
+    policy_backend="vectorized",
 ):
     tasks = generate_workload(
         workload_by_name(workload, n_tasks), np.random.default_rng(seed)
@@ -83,7 +84,11 @@ def run_backend(
         sched,
         cluster,
         tasks,
-        config=SimulationConfig(sim_backend=backend, time_horizon=time_horizon),
+        config=SimulationConfig(
+            sim_backend=backend,
+            time_horizon=time_horizon,
+            policy_backend=policy_backend,
+        ),
         rng=seed + 3,
     )
     result = sim.run()
@@ -173,10 +178,22 @@ class TestBackendParity:
         n_tasks=st.integers(5, 40),
         n_processors=st.integers(1, 8),
         mean_comm_cost=st.sampled_from([0.0, 2.0, 15.0]),
+        policy_backend=st.sampled_from(["loop", "vectorized"]),
     )
     def test_property_event_and_fast_results_equal(
-        self, seed, scheduler, cluster_kind, workload, n_tasks, n_processors, mean_comm_cost
+        self,
+        seed,
+        scheduler,
+        cluster_kind,
+        workload,
+        n_tasks,
+        n_processors,
+        mean_comm_cost,
+        policy_backend,
     ):
+        # policy_backend is drawn too: event/fast equality must hold whether
+        # immediate-mode decisions run per task (loop) or as batched waves
+        # (vectorized) — and, transitively, the four combinations agree.
         kwargs = dict(
             scheduler=scheduler,
             workload=workload,
@@ -185,6 +202,7 @@ class TestBackendParity:
             n_processors=n_processors,
             mean_comm_cost=mean_comm_cost,
             seed=seed,
+            policy_backend=policy_backend,
         )
         assert_identical(run_backend("event", **kwargs), run_backend("fast", **kwargs))
 
