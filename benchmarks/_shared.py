@@ -1,16 +1,33 @@
 """Helpers shared by the benchmark modules.
 
-Each benchmark module times one figure experiment *once* and then runs several
-cheap shape assertions against the same result.  ``run_once`` caches the
-result per module so the expensive simulation is not repeated for every
-assertion, while still being the thing ``pytest-benchmark`` times.
+Two concerns live here:
+
+* :class:`FigureCache` — the figure benchmark modules time one expensive
+  experiment once and run several cheap shape assertions against the cached
+  result;
+* :func:`write_bench_record` — the one writer every ``*_speed.py`` /
+  ``*_throughput.py`` script uses to emit its BENCH record.  It normalizes
+  the record to the schema-v2 shape (machine fingerprint + flat metric
+  rows) that :mod:`repro.analysis.scorecard` folds into the scorecard
+  history, prints it, writes the json, and renders the Markdown companion
+  next to it.  Gating lives centrally in ``repro scorecard check`` — the
+  scripts themselves no longer carry per-benchmark ``--check`` flags.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+import json
+import os
+from typing import Callable, Dict, Optional, Sequence
 
-__all__ = ["FigureCache"]
+from repro.analysis.scorecard import (
+    bench_row,
+    machine_fingerprint,
+    make_bench_record,
+    render_bench_markdown,
+)
+
+__all__ = ["FigureCache", "bench_row", "machine_fingerprint", "write_bench_record"]
 
 
 class FigureCache:
@@ -31,3 +48,30 @@ class FigureCache:
     def get(self, key: str, compute: Callable[[], object]):
         """Return the cached result, computing it without timing if needed."""
         return self.run_once(key, compute, benchmark=None)
+
+
+def write_bench_record(
+    benchmark: str,
+    rows: Sequence[Dict[str, object]],
+    *,
+    output: Optional[str] = None,
+    config: Optional[Dict] = None,
+    detail: Optional[Dict] = None,
+) -> Dict[str, object]:
+    """Emit one schema-v2 BENCH record: stdout, json file, Markdown companion.
+
+    When *output* is given, the json lands there and the human-readable
+    companion replaces its extension with ``.md`` (``BENCH_x.json`` →
+    ``BENCH_x.md``).
+    """
+    record = make_bench_record(benchmark, rows, config=config, detail=detail)
+    print(json.dumps(record, indent=2))
+    if output:
+        with open(output, "w", encoding="utf8") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        companion = os.path.splitext(output)[0] + ".md"
+        rendered = render_bench_markdown(record)
+        with open(companion, "w", encoding="utf8") as handle:
+            handle.write(rendered if rendered.endswith("\n") else rendered + "\n")
+    return record

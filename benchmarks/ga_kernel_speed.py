@@ -9,39 +9,34 @@ sustains per second.  Two preset sizes are built in:
 * ``paper`` — the paper-scale hot path (population 50, 200 tasks,
   20 processors).
 
-Record mode (the default) writes a BENCH json record::
+Writes a schema-v2 BENCH record (the default target is the committed one)::
 
     PYTHONPATH=src python benchmarks/ga_kernel_speed.py \
-        --scale paper --output benchmarks/BENCH_ga_kernels.json
+        --scale all --output benchmarks/BENCH_ga_kernels.json
 
-Check mode re-measures the requested scale and gates against the committed
-record (used by the CI ``bench-gate`` job)::
-
-    PYTHONPATH=src python benchmarks/ga_kernel_speed.py --scale smoke --check
-
-The gate compares *speedups* (vectorized over loop generations/sec), which
-are stable across machines where absolute rates are not.  It fails when the
-vectorized backend falls behind the loop backend (speedup < 1) or when its
-speedup regresses more than ``--tolerance`` (default 25 %) below the
-committed reference for that scale.
+Regression gating happens centrally: CI re-measures, then runs
+``repro scorecard check`` against the committed scorecard history.  The
+``vectorized_speedup`` rows carry a hard floor of 1.0 (vectorized must never
+lose to the loop backend) and a 25 % trajectory tolerance; the absolute
+generation rates are dashboard-only.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
-import sys
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
+from _shared import bench_row, write_bench_record
 from repro.ga import BACKEND_NAMES, BatchProblem, GAConfig, GeneticAlgorithm
 
 DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_ga_kernels.json")
+#: Allowed fractional speedup regression below the recorded trajectory.
+SPEEDUP_TOLERANCE = 0.25
 
 
 @dataclass(frozen=True)
@@ -116,57 +111,29 @@ def measure_scale(scale: KernelScale, seed: int, repeats: int) -> Dict[str, obje
 
 def run_record(args: argparse.Namespace) -> int:
     names = sorted(SCALES) if args.scale == "all" else [args.scale]
-    record = {
-        "benchmark": "ga_kernel_speed/loop_vs_vectorized",
-        "seed": args.seed,
-        "repeats": args.repeats,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "scales": {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names},
-    }
-    print(json.dumps(record, indent=2))
-    if args.output:
-        with open(args.output, "w", encoding="utf8") as handle:
-            json.dump(record, handle, indent=2)
-            handle.write("\n")
-    return 0
-
-
-def run_check(args: argparse.Namespace) -> int:
-    if args.scale == "all":
-        print("error: --check gates one scale at a time", file=sys.stderr)
-        return 2
-    with open(args.record, encoding="utf8") as handle:
-        committed = json.load(handle)
-    reference = committed["scales"].get(args.scale)
-    if reference is None:
-        print(f"error: {args.record} has no '{args.scale}' scale", file=sys.stderr)
-        return 2
-
-    measured = measure_scale(SCALES[args.scale], args.seed, args.repeats)
-    speedup = measured["speedup"]
-    reference_speedup = reference["speedup"]
-    floor = reference_speedup * (1.0 - args.tolerance)
-    print(
-        f"ga_kernel_speed --check [{args.scale}]: measured speedup {speedup:.2f}x, "
-        f"committed {reference_speedup:.2f}x, floor {floor:.2f}x"
+    detail = {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names}
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        measured = detail[name]
+        rows.append(
+            bench_row(
+                "vectorized_speedup",
+                measured["speedup"],
+                "x",
+                scale=name,
+                tolerance=SPEEDUP_TOLERANCE,
+                floor=1.0,
+            )
+        )
+        for backend, rate in measured["generations_per_second"].items():
+            rows.append(bench_row(f"generations_per_second/{backend}", rate, "gen/s", scale=name))
+    write_bench_record(
+        "ga_kernel_speed",
+        rows,
+        output=args.output,
+        config={"seed": args.seed, "repeats": args.repeats},
+        detail=detail,
     )
-    print(json.dumps(measured, indent=2))
-    if speedup < 1.0:
-        print(
-            "FAIL: vectorized backend is slower than the loop backend", file=sys.stderr
-        )
-        return 1
-    if speedup < floor:
-        print(
-            f"FAIL: speedup regressed more than {args.tolerance:.0%} below the "
-            f"committed record ({speedup:.2f}x < {floor:.2f}x)",
-            file=sys.stderr,
-        )
-        return 1
-    print("PASS: vectorized backend within budget")
     return 0
 
 
@@ -183,30 +150,11 @@ def parse_args() -> argparse.Namespace:
         "--repeats", type=int, default=3, help="timing repeats; the best is kept"
     )
     parser.add_argument("--output", default=None, help="write the BENCH json here")
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="gate the measured speedup against the committed record",
-    )
-    parser.add_argument(
-        "--record",
-        default=DEFAULT_RECORD,
-        help="committed BENCH json to gate against (with --check)",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.25,
-        help="allowed fractional speedup regression before --check fails",
-    )
     return parser.parse_args()
 
 
 def main() -> int:
-    args = parse_args()
-    if args.check:
-        return run_check(args)
-    return run_record(args)
+    return run_record(parse_args())
 
 
 if __name__ == "__main__":

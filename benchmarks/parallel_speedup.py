@@ -3,7 +3,7 @@
 
 Times `compare_schedulers` once through `SerialExecutor` and once through
 `ParallelExecutor`, verifies the aggregates are bit-identical, and writes a
-BENCH json record.  On an N-core machine a paper-scale comparison
+schema-v2 BENCH record.  On an N-core machine a paper-scale comparison
 (`--scale paper`, 20 repeats) is expected to speed up by roughly
 min(N, repeats) minus process-pool overhead; on a single core the parallel
 run only measures that overhead.
@@ -12,16 +12,20 @@ Run with::
 
     PYTHONPATH=src python benchmarks/parallel_speedup.py \
         --scale medium --repeats 8 --jobs 4 --output benchmarks/BENCH_parallel.json
+
+Regression gating happens centrally via ``repro scorecard check``: the
+``aggregates_bit_identical`` row carries a hard floor of 1.0 (the serial
+and parallel aggregates must stay bit-identical), while the speedup itself
+is dashboard-only — it tracks the runner's core count, not the code.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import time
 
+from _shared import bench_row, write_bench_record
 from repro.experiments import compare_schedulers, get_scale
 from repro.workloads import normal_paper_workload
 
@@ -65,24 +69,31 @@ def main() -> None:
         results[serial_key].makespans() == results[parallel_key].makespans()
         and results[serial_key].efficiencies() == results[parallel_key].efficiencies()
     )
-    record = {
-        "benchmark": "parallel_speedup/compare_schedulers",
-        "scale": scale.name,
-        "repeats": scale.repeats,
-        "n_tasks": scale.n_tasks,
-        "n_processors": scale.n_processors,
-        "jobs": args.jobs,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "seconds": {k: round(v, 3) for k, v in timings.items()},
-        "speedup": round(timings[serial_key] / timings[parallel_key], 3),
-        "aggregates_bit_identical": identical,
-    }
-    print(json.dumps(record, indent=2))
-    if args.output:
-        with open(args.output, "w", encoding="utf8") as handle:
-            json.dump(record, handle, indent=2)
-            handle.write("\n")
+    speedup = round(timings[serial_key] / timings[parallel_key], 3)
+    rows = [
+        bench_row(
+            "aggregates_bit_identical",
+            1.0 if identical else 0.0,
+            "bool",
+            scale=scale.name,
+            floor=1.0,
+        ),
+        bench_row("parallel_speedup", speedup, "x", scale=scale.name),
+    ]
+    write_bench_record(
+        "parallel_speedup",
+        rows,
+        output=args.output,
+        config={
+            "scale": scale.name,
+            "repeats": scale.repeats,
+            "n_tasks": scale.n_tasks,
+            "n_processors": scale.n_processors,
+            "jobs": args.jobs,
+            "seed": args.seed,
+        },
+        detail={"seconds": {k: round(v, 3) for k, v in timings.items()}},
+    )
     if not identical:
         raise SystemExit("serial and parallel aggregates diverged")
 

@@ -26,38 +26,30 @@ Each scale times three cells:
 Two preset sizes are built in: ``smoke`` (CI-sized) and ``paper`` (the
 publication's 10,000-task, 50-processor immediate-mode cell).
 
-Record mode (the default) writes a BENCH json record::
+Writes a schema-v2 BENCH record (the default target is the committed one)::
 
     PYTHONPATH=src python benchmarks/policy_kernel_speed.py \
         --scale all --output benchmarks/BENCH_policy_kernels.json
 
-Check mode re-measures the requested scale and gates against the committed
-record (used by the CI ``sim-core`` job)::
-
-    PYTHONPATH=src python benchmarks/policy_kernel_speed.py --scale smoke --check
-
-The gate compares *speedups* (vectorized over loop sims/sec), which are
-stable across machines where absolute rates are not.  It fails when any
-cell's vectorized backend falls behind the loop backend (speedup < 1), when
-the ``immediate`` cell regresses more than ``--tolerance`` below the
-committed record, or — at paper scale — when the ``immediate`` speedup
-drops below the 2.5x floor this work targets.
+Regression gating happens centrally via ``repro scorecard check``: every
+cell's speedup row carries a hard floor of 1.0 (vectorized must never lose
+to the loop path), the ``immediate`` rows add a 30 % trajectory tolerance,
+and the paper-scale ``immediate`` row keeps the 2.5x absolute floor this
+work targets.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import os
-import platform
-import sys
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
+from _shared import bench_row, write_bench_record
 from repro.cluster.topology import heterogeneous_cluster
 from repro.schedulers.kernels import POLICY_BACKEND_NAMES
 from repro.schedulers.registry import make_scheduler
@@ -68,6 +60,8 @@ from repro.workloads.suites import workload_by_name
 DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_policy_kernels.json")
 #: Minimum vectorized/loop speedup of the ``immediate`` cell at paper scale.
 PAPER_IMMEDIATE_FLOOR = 2.5
+#: Allowed fractional ``immediate`` speedup regression below the trajectory.
+IMMEDIATE_TOLERANCE = 0.3
 
 
 @dataclass(frozen=True)
@@ -229,73 +223,33 @@ def measure_scale(scale: PolicyScale, seed: int, repeats: int) -> Dict[str, obje
 
 def run_record(args: argparse.Namespace) -> int:
     names = sorted(SCALES) if args.scale == "all" else [args.scale]
-    record = {
-        "benchmark": "policy_kernel_speed/loop_vs_vectorized",
-        "seed": args.seed,
-        "repeats": args.repeats,
-        "min_immediate_speedup_paper": PAPER_IMMEDIATE_FLOOR,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "scales": {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names},
-    }
-    print(json.dumps(record, indent=2))
-    if args.output:
-        with open(args.output, "w", encoding="utf8") as handle:
-            json.dump(record, handle, indent=2)
-            handle.write("\n")
-    return 0
-
-
-def run_check(args: argparse.Namespace) -> int:
-    if args.scale == "all":
-        print("error: --check gates one scale at a time", file=sys.stderr)
-        return 2
-    with open(args.record, encoding="utf8") as handle:
-        committed = json.load(handle)
-    reference = committed["scales"].get(args.scale)
-    if reference is None:
-        print(f"error: {args.record} has no '{args.scale}' scale", file=sys.stderr)
-        return 2
-
-    measured = measure_scale(SCALES[args.scale], args.seed, args.repeats)
-    print(json.dumps(measured, indent=2))
-
-    failed = False
-    for cell, data in measured["cells"].items():
-        if data["speedup"] < 1.0:
-            print(
-                f"FAIL [{cell}]: vectorized backend is slower than the loop backend "
-                f"({data['speedup']:.2f}x)",
-                file=sys.stderr,
+    detail = {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names}
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        for cell, data in detail[name]["cells"].items():
+            floor = 1.0
+            tolerance = None
+            if cell == "immediate":
+                tolerance = IMMEDIATE_TOLERANCE
+                if name == "paper":
+                    floor = PAPER_IMMEDIATE_FLOOR
+            rows.append(
+                bench_row(
+                    f"{cell}_speedup",
+                    data["speedup"],
+                    "x",
+                    scale=name,
+                    tolerance=tolerance,
+                    floor=floor,
+                )
             )
-            failed = True
-
-    immediate = measured["cells"]["immediate"]["speedup"]
-    reference_immediate = reference["cells"]["immediate"]["speedup"]
-    floor = reference_immediate * (1.0 - args.tolerance)
-    print(
-        f"policy_kernel_speed --check [{args.scale}]: immediate speedup "
-        f"{immediate:.2f}x, committed {reference_immediate:.2f}x, floor {floor:.2f}x"
+    write_bench_record(
+        "policy_kernel_speed",
+        rows,
+        output=args.output,
+        config={"seed": args.seed, "repeats": args.repeats},
+        detail=detail,
     )
-    if immediate < floor:
-        print(
-            f"FAIL: immediate speedup regressed more than {args.tolerance:.0%} below "
-            f"the committed record ({immediate:.2f}x < {floor:.2f}x)",
-            file=sys.stderr,
-        )
-        failed = True
-    if args.scale == "paper" and immediate < PAPER_IMMEDIATE_FLOOR:
-        print(
-            f"FAIL: paper-scale immediate speedup below the "
-            f"{PAPER_IMMEDIATE_FLOOR:.1f}x target ({immediate:.2f}x)",
-            file=sys.stderr,
-        )
-        failed = True
-    if failed:
-        return 1
-    print("PASS: vectorized policy kernels within budget (and bit-identical)")
     return 0
 
 
@@ -312,30 +266,11 @@ def parse_args() -> argparse.Namespace:
         "--repeats", type=int, default=3, help="timing repeats; the best is kept"
     )
     parser.add_argument("--output", default=None, help="write the BENCH json here")
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="gate the measured speedups against the committed record",
-    )
-    parser.add_argument(
-        "--record",
-        default=DEFAULT_RECORD,
-        help="committed BENCH json to gate against (with --check)",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.3,
-        help="allowed fractional speedup regression before --check fails",
-    )
     return parser.parse_args()
 
 
 def main() -> int:
-    args = parse_args()
-    if args.check:
-        return run_check(args)
-    return run_record(args)
+    return run_record(parse_args())
 
 
 if __name__ == "__main__":

@@ -6,30 +6,25 @@ a cheap immediate-mode scheduler, so the measurement is dominated by the
 engine / master / dynamics machinery rather than GA search, and reports how
 many simulation events per second the sim layer sustains.
 
-Record mode (the default) writes a BENCH json record::
+Writes a schema-v2 BENCH record (the default target is the committed one)::
 
     PYTHONPATH=src python benchmarks/scenario_throughput.py \
         --output benchmarks/BENCH_scenarios.json
 
-Check mode re-measures and gates against the committed record (used by the
-CI ``scenario-smoke`` job) with a generous tolerance, since absolute event
-rates vary across machines far more than the GA speedup ratios do::
-
-    PYTHONPATH=src python benchmarks/scenario_throughput.py --check
+Regression gating happens centrally via ``repro scorecard check``.  The
+events/s rows carry a deliberately loose 60 % trajectory tolerance —
+absolute event rates vary widely across machines, and the scorecard only
+compares them against history recorded on a matching machine fingerprint.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
-import sys
 import time
-from typing import Dict
+from typing import Dict, List
 
-import numpy as np
-
+from _shared import bench_row, write_bench_record
 from repro.experiments.config import get_scale
 from repro.scenarios import ScenarioCell, get_scenario, run_scenario_cell
 
@@ -37,6 +32,8 @@ DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_scenarios.json")
 
 #: Scenarios that exercise the dynamics machinery hardest.
 BENCH_SCENARIOS = ("steady-state", "failure-storm", "rolling-restart", "heavy-tail-mix")
+#: Allowed fractional events/s regression below the recorded trajectory.
+EVENTS_TOLERANCE = 0.6
 
 
 def events_per_second(
@@ -65,54 +62,34 @@ def events_per_second(
     return {"events": events, "events_per_second": round(best, 1)}
 
 
-def measure(args: argparse.Namespace) -> Dict[str, object]:
-    return {
-        "benchmark": "scenario_throughput/events_per_second",
-        "scale": args.scale,
-        "scheduler": "LL",
-        "seed": args.seed,
-        "repeats": args.repeats,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "scenarios": {
-            name: events_per_second(name, args.scale, args.seed, args.repeats)
-            for name in BENCH_SCENARIOS
-        },
-    }
-
-
 def run_record(args: argparse.Namespace) -> int:
-    record = measure(args)
-    print(json.dumps(record, indent=2))
-    if args.output:
-        with open(args.output, "w", encoding="utf8") as handle:
-            json.dump(record, handle, indent=2)
-            handle.write("\n")
-    return 0
-
-
-def run_check(args: argparse.Namespace) -> int:
-    with open(args.record, encoding="utf8") as handle:
-        committed = json.load(handle)
-    measured = measure(args)
-    failed = False
-    for name, reference in committed["scenarios"].items():
-        current = measured["scenarios"].get(name)
-        if current is None:
-            print(f"FAIL: no measurement for scenario {name!r}", file=sys.stderr)
-            failed = True
-            continue
-        floor = reference["events_per_second"] * (1.0 - args.tolerance)
-        status = "PASS" if current["events_per_second"] >= floor else "FAIL"
-        print(
-            f"{status} [{name}]: {current['events_per_second']:.0f} events/s "
-            f"(committed {reference['events_per_second']:.0f}, floor {floor:.0f})"
+    detail = {
+        name: events_per_second(name, args.scale, args.seed, args.repeats)
+        for name in BENCH_SCENARIOS
+    }
+    rows: List[Dict[str, object]] = [
+        bench_row(
+            f"{name}/events_per_second",
+            detail[name]["events_per_second"],
+            "events/s",
+            scale=args.scale,
+            tolerance=EVENTS_TOLERANCE,
         )
-        if status == "FAIL":
-            failed = True
-    return 1 if failed else 0
+        for name in BENCH_SCENARIOS
+    ]
+    write_bench_record(
+        "scenario_throughput",
+        rows,
+        output=args.output,
+        config={
+            "scale": args.scale,
+            "scheduler": "LL",
+            "seed": args.seed,
+            "repeats": args.repeats,
+        },
+        detail=detail,
+    )
+    return 0
 
 
 def parse_args() -> argparse.Namespace:
@@ -125,31 +102,11 @@ def parse_args() -> argparse.Namespace:
         "--repeats", type=int, default=3, help="timing repeats; the best is kept"
     )
     parser.add_argument("--output", default=None, help="write the BENCH json here")
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="gate measured events/sec against the committed record",
-    )
-    parser.add_argument(
-        "--record",
-        default=DEFAULT_RECORD,
-        help="committed BENCH json to gate against (with --check)",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.6,
-        help="allowed fractional regression before --check fails (events/sec "
-        "vary widely across machines, so the default is deliberately loose)",
-    )
     return parser.parse_args()
 
 
 def main() -> int:
-    args = parse_args()
-    if args.check:
-        return run_check(args)
-    return run_record(args)
+    return run_record(parse_args())
 
 
 if __name__ == "__main__":

@@ -23,38 +23,30 @@ Each scale times three cells of the paper's evaluation:
 Two preset sizes are built in: ``smoke`` (CI-sized) and ``paper`` (the
 publication's 10,000-task, 50-processor makespan experiments).
 
-Record mode (the default) writes a BENCH json record::
+Writes a schema-v2 BENCH record (the default target is the committed one)::
 
     PYTHONPATH=src python benchmarks/sim_core_speed.py \
         --scale all --output benchmarks/BENCH_sim_core.json
 
-Check mode re-measures the requested scale and gates against the committed
-record (used by the CI ``sim-core`` job)::
-
-    PYTHONPATH=src python benchmarks/sim_core_speed.py --scale smoke --check
-
-The gate compares *speedups* (fast over event sims/sec), which are stable
-across machines where absolute rates are not.  It fails when any cell's
-fast backend falls behind the event backend (speedup < 1), when the
-``replay`` cell regresses more than ``--tolerance`` below the committed
-record, or — at paper scale — when the ``replay`` speedup drops below the
-3x floor the sim-core work targets.
+Regression gating happens centrally via ``repro scorecard check``: every
+cell's speedup row carries a hard floor of 1.0 (the fast backend must never
+lose to the event engine), the ``replay`` rows add a 30 % trajectory
+tolerance, and the paper-scale ``replay`` row keeps the 3x absolute floor
+the sim-core work targets.
 """
 
 from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 import os
-import platform
-import sys
 import time
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 import numpy as np
 
+from _shared import bench_row, write_bench_record
 from repro.cluster.topology import heterogeneous_cluster
 from repro.schedulers.registry import make_scheduler
 from repro.sim.simulation import SimulationConfig, simulate_schedule
@@ -64,6 +56,8 @@ from repro.workloads.suites import workload_by_name
 DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_sim_core.json")
 #: Minimum fast/event speedup of the ``replay`` cell at paper scale.
 PAPER_REPLAY_FLOOR = 3.0
+#: Allowed fractional ``replay`` speedup regression below the trajectory.
+REPLAY_TOLERANCE = 0.3
 
 
 @dataclass(frozen=True)
@@ -204,73 +198,41 @@ def measure_scale(scale: SimScale, seed: int, repeats: int) -> Dict[str, object]
 
 def run_record(args: argparse.Namespace) -> int:
     names = sorted(SCALES) if args.scale == "all" else [args.scale]
-    record = {
-        "benchmark": "sim_core_speed/event_vs_fast",
-        "seed": args.seed,
-        "repeats": args.repeats,
-        "min_replay_speedup_paper": PAPER_REPLAY_FLOOR,
-        "cpu_count": os.cpu_count(),
-        "platform": platform.platform(),
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "scales": {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names},
-    }
-    print(json.dumps(record, indent=2))
-    if args.output:
-        with open(args.output, "w", encoding="utf8") as handle:
-            json.dump(record, handle, indent=2)
-            handle.write("\n")
-    return 0
-
-
-def run_check(args: argparse.Namespace) -> int:
-    if args.scale == "all":
-        print("error: --check gates one scale at a time", file=sys.stderr)
-        return 2
-    with open(args.record, encoding="utf8") as handle:
-        committed = json.load(handle)
-    reference = committed["scales"].get(args.scale)
-    if reference is None:
-        print(f"error: {args.record} has no '{args.scale}' scale", file=sys.stderr)
-        return 2
-
-    measured = measure_scale(SCALES[args.scale], args.seed, args.repeats)
-    print(json.dumps(measured, indent=2))
-
-    failed = False
-    for cell, data in measured["cells"].items():
-        if data["speedup"] < 1.0:
-            print(
-                f"FAIL [{cell}]: fast backend is slower than the event backend "
-                f"({data['speedup']:.2f}x)",
-                file=sys.stderr,
+    detail = {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names}
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        for cell, data in detail[name]["cells"].items():
+            floor = 1.0
+            tolerance = None
+            if cell == "replay":
+                tolerance = REPLAY_TOLERANCE
+                if name == "paper":
+                    floor = PAPER_REPLAY_FLOOR
+            rows.append(
+                bench_row(
+                    f"{cell}_speedup",
+                    data["speedup"],
+                    "x",
+                    scale=name,
+                    tolerance=tolerance,
+                    floor=floor,
+                )
             )
-            failed = True
-
-    replay = measured["cells"]["replay"]["speedup"]
-    reference_replay = reference["cells"]["replay"]["speedup"]
-    floor = reference_replay * (1.0 - args.tolerance)
-    print(
-        f"sim_core_speed --check [{args.scale}]: replay speedup {replay:.2f}x, "
-        f"committed {reference_replay:.2f}x, floor {floor:.2f}x"
+        rows.append(
+            bench_row(
+                "events_per_second_event_driven",
+                detail[name]["cells"]["protocol"]["events_per_second_event_driven"],
+                "events/s",
+                scale=name,
+            )
+        )
+    write_bench_record(
+        "sim_core_speed",
+        rows,
+        output=args.output,
+        config={"seed": args.seed, "repeats": args.repeats},
+        detail=detail,
     )
-    if replay < floor:
-        print(
-            f"FAIL: replay speedup regressed more than {args.tolerance:.0%} below "
-            f"the committed record ({replay:.2f}x < {floor:.2f}x)",
-            file=sys.stderr,
-        )
-        failed = True
-    if args.scale == "paper" and replay < PAPER_REPLAY_FLOOR:
-        print(
-            f"FAIL: paper-scale replay speedup below the {PAPER_REPLAY_FLOOR:.1f}x "
-            f"target ({replay:.2f}x)",
-            file=sys.stderr,
-        )
-        failed = True
-    if failed:
-        return 1
-    print("PASS: fast simulation backend within budget (and bit-identical)")
     return 0
 
 
@@ -287,30 +249,11 @@ def parse_args() -> argparse.Namespace:
         "--repeats", type=int, default=3, help="timing repeats; the best is kept"
     )
     parser.add_argument("--output", default=None, help="write the BENCH json here")
-    parser.add_argument(
-        "--check",
-        action="store_true",
-        help="gate the measured speedups against the committed record",
-    )
-    parser.add_argument(
-        "--record",
-        default=DEFAULT_RECORD,
-        help="committed BENCH json to gate against (with --check)",
-    )
-    parser.add_argument(
-        "--tolerance",
-        type=float,
-        default=0.3,
-        help="allowed fractional speedup regression before --check fails",
-    )
     return parser.parse_args()
 
 
 def main() -> int:
-    args = parse_args()
-    if args.check:
-        return run_check(args)
-    return run_record(args)
+    return run_record(parse_args())
 
 
 if __name__ == "__main__":

@@ -73,6 +73,10 @@ STORE_FORMAT_VERSION = 1
 FINGERPRINT_EXCLUDED_FIELDS: Dict[str, frozenset] = {
     "ExperimentScale": frozenset({"jobs", "executor"}),
     "SimulationConfig": frozenset({"phase_timing"}),
+    # A trace workload's identity is its content hash (sha256) and task
+    # count; the path a replayed file happens to live at must not split the
+    # cache.
+    "TraceSpec": frozenset({"path"}),
 }
 
 #: Types that must never silently enter a cache key.

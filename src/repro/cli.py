@@ -13,6 +13,11 @@ Usage examples::
         --figures fig5 fig6 --scenarios failure-storm --scale small --jobs 4
     python -m repro.cli campaigns status --store results/store nightly
     python -m repro.cli campaigns resume --store results/store nightly
+    python -m repro.cli traces make bursty --tasks 100000 --output bursty.csv
+    python -m repro.cli traces record --scenario failure-storm --output fs.csv
+    python -m repro.cli compare --workload trace:bursty.csv --scale small
+    python -m repro.cli scorecard build
+    python -m repro.cli scorecard check artifacts/bench-records
 
 ``--jobs N`` shards the independent repeats of an experiment (or the cells
 of a scenario matrix / campaign) across ``N`` worker processes (see
@@ -30,6 +35,17 @@ import os
 import sys
 from typing import Optional, Sequence
 
+from .analysis.scorecard import (
+    check_records,
+    find_bench_records,
+    fold_into_history,
+    load_bench_record,
+    load_history,
+    manifest_record,
+    new_history,
+    render_scorecard_markdown,
+    save_history,
+)
 from .campaigns import (
     CampaignSpec,
     ResultStore,
@@ -49,12 +65,27 @@ from .experiments.runner import compare_schedulers
 from .ga.kernels import BACKEND_NAMES
 from .io.results import save_scenario_matrix_json
 from .parallel import EXECUTOR_KINDS, executor_from_jobs
-from .scenarios import make_all_scenarios, run_scenario_matrix, scenario_names
+from .scenarios import (
+    ScenarioCell,
+    cell_workload,
+    get_scenario,
+    make_all_scenarios,
+    run_scenario_matrix,
+    scenario_names,
+)
 from .schedulers.kernels import POLICY_BACKEND_NAMES
 from .schedulers.registry import ALL_SCHEDULER_NAMES
 from .sim.simulation import SIM_BACKENDS
 from .util.errors import ExperimentInterrupted, ReproError
+from .workloads.generator import generate_workload
 from .workloads.suites import paper_workloads, workload_by_name
+from .workloads.traces import (
+    SYNTHETIC_TRACE_KINDS,
+    load_trace,
+    save_trace,
+    trace_from_tasks,
+    trace_sha256,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -91,8 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument(
         "--workload",
         default="normal",
-        choices=sorted(paper_workloads(1).keys()),
-        help="which of the paper's workload shapes to use",
+        help=(
+            "which of the paper's workload shapes to use "
+            f"({', '.join(sorted(paper_workloads(1)))}), or trace:<path> to "
+            "replay a recorded arrival trace (see `repro-scheduler traces`)"
+        ),
     )
     cmp_parser.add_argument(
         "--comm-cost", type=float, default=20.0, help="mean per-link communication cost (s)"
@@ -231,7 +265,115 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor family for the resumed cells",
     )
     _add_campaign_run_options(camp_resume)
+
+    trace_parser = sub.add_parser(
+        "traces", help="replayable arrival traces: record, synthesize, inspect"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    trace_record = trace_sub.add_parser(
+        "record",
+        help="dump the arrival stream a simulation would consume to a trace file",
+    )
+    source = trace_record.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help=f"record a scenario cell's workload: {', '.join(scenario_names())}",
+    )
+    source.add_argument(
+        "--workload",
+        metavar="NAME",
+        help=(
+            "record a paper workload shape "
+            f"({', '.join(sorted(paper_workloads(1)))})"
+        ),
+    )
+    trace_record.add_argument(
+        "--scale",
+        default="small",
+        choices=sorted(SCALES.keys()),
+        help="scale preset sizing the recorded workload (default: small)",
+    )
+    trace_record.add_argument(
+        "--seed",
+        type=int,
+        default=42,
+        help=(
+            "seed entropy; a scenario recording replays bit-identically "
+            "through any cell run with the same entropy"
+        ),
+    )
+    trace_record.add_argument(
+        "--tasks", type=int, default=None, help="override the task count (--workload only)"
+    )
+    trace_record.add_argument(
+        "--output", required=True, metavar="PATH", help="trace file (.csv or .json)"
+    )
+    trace_make = trace_sub.add_parser(
+        "make", help="synthesize a diurnal or bursty piecewise-rate arrival trace"
+    )
+    trace_make.add_argument(
+        "kind", choices=sorted(SYNTHETIC_TRACE_KINDS), help="arrival profile"
+    )
+    trace_make.add_argument(
+        "--tasks", type=int, default=10000, help="number of tasks (default: 10000)"
+    )
+    trace_make.add_argument("--seed", type=int, default=42, help="master random seed")
+    trace_make.add_argument(
+        "--output", required=True, metavar="PATH", help="trace file (.csv or .json)"
+    )
+    trace_info = trace_sub.add_parser(
+        "info", help="summarise a trace file (tasks, span, content hash)"
+    )
+    trace_info.add_argument("path", help="trace file to inspect")
+
+    score_parser = sub.add_parser(
+        "scorecard",
+        help="perf scorecard: fold BENCH records into one history + dashboard",
+    )
+    score_sub = score_parser.add_subparsers(dest="scorecard_command", required=True)
+    score_build = score_sub.add_parser(
+        "build", help="fold BENCH records and campaign manifests into the history"
+    )
+    _add_scorecard_options(score_build)
+    score_build.add_argument(
+        "--manifest",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="campaign manifest whose timings join the dashboard (repeatable)",
+    )
+    score_build.add_argument(
+        "--output",
+        default=os.path.join("benchmarks", "SCORECARD.md"),
+        metavar="PATH",
+        help="rendered Markdown dashboard (default: benchmarks/SCORECARD.md)",
+    )
+    score_check = score_sub.add_parser(
+        "check",
+        help="gate fresh BENCH records against floors and the recorded history",
+    )
+    _add_scorecard_options(score_check)
     return parser
+
+
+def _add_scorecard_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        metavar="PATH",
+        help=(
+            "BENCH record files, or directories containing BENCH_*.json "
+            "(default: benchmarks/)"
+        ),
+    )
+    parser.add_argument(
+        "--history",
+        default=os.path.join("benchmarks", "SCORECARD.json"),
+        metavar="PATH",
+        help="scorecard history file (default: benchmarks/SCORECARD.json)",
+    )
 
 
 def _add_campaign_store_option(parser: argparse.ArgumentParser) -> None:
@@ -586,6 +728,108 @@ def _cmd_campaigns_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traces_record(args: argparse.Namespace) -> int:
+    scale = get_scale(args.scale)
+    if args.scenario:
+        spec = get_scenario(args.scenario, scale)
+        cell = ScenarioCell(
+            spec=spec,
+            scheduler="LL",  # the workload stream is scheduler-independent
+            repeat=0,
+            seed_entropy=args.seed,
+            batch_size=scale.batch_size,
+            max_generations=scale.max_generations,
+        )
+        tasks = cell_workload(cell)
+        source = f"scenario {args.scenario!r} (seed entropy {args.seed})"
+    else:
+        import numpy as np
+
+        n_tasks = args.tasks or scale.n_tasks
+        workload = workload_by_name(args.workload, n_tasks)
+        tasks = generate_workload(workload, np.random.default_rng(args.seed))
+        source = f"workload {args.workload!r} (seed {args.seed})"
+    trace = trace_from_tasks(tasks)
+    path = save_trace(trace, args.output)
+    print(f"recorded {trace.n_tasks} tasks from {source} -> {path}")
+    print(f"  sha256: {trace_sha256(path)}")
+    print(f"  replay with: --workload trace:{path}")
+    return 0
+
+
+def _cmd_traces_make(args: argparse.Namespace) -> int:
+    maker = SYNTHETIC_TRACE_KINDS[args.kind]
+    trace = maker(args.tasks, seed=args.seed)
+    path = save_trace(trace, args.output)
+    span = float(trace.arrival_time[-1]) if trace.n_tasks else 0.0
+    print(
+        f"synthesized {args.kind} trace: {trace.n_tasks} tasks over "
+        f"{span:.1f}s -> {path}"
+    )
+    print(f"  sha256: {trace_sha256(path)}")
+    return 0
+
+
+def _cmd_traces_info(args: argparse.Namespace) -> int:
+    trace = load_trace(args.path)
+    span = float(trace.arrival_time[-1]) if trace.n_tasks else 0.0
+    described = trace.describe()
+    print(f"trace {args.path}")
+    print(f"  tasks: {trace.n_tasks}")
+    print(f"  arrival span: {span:.3f}s")
+    print(f"  mean size: {described['mean_mflops']:.1f} MFLOPs")
+    print(f"  comm costs: {'yes' if trace.comm_cost is not None else 'no'}")
+    print(f"  sha256: {trace_sha256(args.path)}")
+    return 0
+
+
+def _scorecard_records(args: argparse.Namespace):
+    paths = args.paths or ["benchmarks"]
+    files = find_bench_records(paths)
+    if not files:
+        raise ReproError(f"no BENCH records found under {paths}")
+    return [load_bench_record(path) for path in files]
+
+
+def _cmd_scorecard_build(args: argparse.Namespace) -> int:
+    records = _scorecard_records(args)
+    for manifest_path in args.manifest:
+        record = manifest_record(manifest_path)
+        if record is not None:
+            records.append(record)
+    history = load_history(args.history) if os.path.exists(args.history) else new_history()
+    added = fold_into_history(history, records)
+    save_history(history, args.history)
+    dashboard = render_scorecard_markdown(history)
+    with open(args.output, "w", encoding="utf8") as handle:
+        handle.write(dashboard if dashboard.endswith("\n") else dashboard + "\n")
+    print(
+        f"scorecard: folded {len(records)} records "
+        f"({added} new points) into {args.history}"
+    )
+    print(f"dashboard: {args.output}")
+    return 0
+
+
+def _cmd_scorecard_check(args: argparse.Namespace) -> int:
+    records = _scorecard_records(args)
+    if not os.path.exists(args.history):
+        raise ReproError(
+            f"no scorecard history at {args.history}; run `scorecard build` first"
+        )
+    history = load_history(args.history)
+    failed, checks = check_records(records, history)
+    for check in checks:
+        print(f"{check.status:4s} {check.label}: {check.message}")
+    counts = {status: sum(1 for c in checks if c.status == status) for status in
+              ("PASS", "FAIL", "SKIP")}
+    print(
+        f"scorecard check: {counts['PASS']} pass, {counts['FAIL']} fail, "
+        f"{counts['SKIP']} skipped (no comparable history)"
+    )
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -607,6 +851,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.campaign_command == "resume":
                 return _cmd_campaigns_resume(args)
             return _cmd_campaigns_run(args)
+        if args.command == "traces":
+            if args.trace_command == "record":
+                return _cmd_traces_record(args)
+            if args.trace_command == "make":
+                return _cmd_traces_make(args)
+            return _cmd_traces_info(args)
+        if args.command == "scorecard":
+            if args.scorecard_command == "build":
+                return _cmd_scorecard_build(args)
+            return _cmd_scorecard_check(args)
         return _cmd_figure(args.command, args)
     except ExperimentInterrupted as exc:
         # Ctrl-C mid-map: the executors already terminated their workers.

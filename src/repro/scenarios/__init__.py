@@ -25,6 +25,7 @@ from .runner import (
     ScenarioCell,
     ScenarioCellOutcome,
     ScenarioMatrixResult,
+    cell_workload,
     run_scenario_cell,
     run_scenario_matrix,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "make_all_scenarios",
     "ScenarioCell",
     "ScenarioCellOutcome",
+    "cell_workload",
     "run_scenario_cell",
     "ScenarioAggregate",
     "ScenarioMatrixResult",

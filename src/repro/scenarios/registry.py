@@ -5,7 +5,7 @@ stable name and constructed by a builder parameterised by an
 :class:`~repro.experiments.config.ExperimentScale`, so the same scenario
 shape runs at ``smoke`` scale in CI and at ``paper`` scale for real studies.
 
-The eight built-in scenarios cover the cluster-dynamics axes the paper's
+The built-in scenarios cover the cluster-dynamics axes the paper's
 motivation names but its experiments abstract away:
 
 ========================  ====================================================
@@ -17,6 +17,8 @@ motivation names but its experiments abstract away:
 ``elastic-scale-out``     reserve workers join while the queue drains
 ``straggler-node``        one node pinned to a sliver of its peak rate
 ``heavy-tail-mix``        1:1000 task sizes + failure + join + spike
+``trace-diurnal``         sinusoidal piecewise-rate (IPP) arrival profile
+``trace-bursty``          calm/burst piecewise-rate (IPP) arrival profile
 ========================  ====================================================
 
 Event times are expressed as fractions of a crude makespan estimate
@@ -38,6 +40,7 @@ from ..workloads.suites import (
     poisson_small_workload,
     uniform_wide_workload,
 )
+from ..workloads.traces import bursty_profile, diurnal_profile
 from .dynamics import LoadSpike, WorkerFailure, WorkerJoin, WorkerRecovery
 from .spec import ClusterSpec, ScenarioSpec
 
@@ -232,6 +235,55 @@ def _heavy_tail_mix(scale: ExperimentScale) -> ScenarioSpec:
     )
 
 
+def _trace_diurnal(scale: ExperimentScale) -> ScenarioSpec:
+    workload = normal_paper_workload(scale.n_tasks)
+    horizon = _horizon(scale, workload)
+    # Arrivals spread over ~60% of the horizon as two day/night cycles.
+    mean_rate = scale.n_tasks / (0.6 * horizon)
+    workload.arrivals = diurnal_profile(
+        scale.n_tasks, mean_rate=mean_rate, period=0.3 * horizon
+    )
+    return ScenarioSpec(
+        name="trace-diurnal",
+        description=(
+            "The diurnal trace-generator profile: sinusoidal piecewise-rate "
+            "inhomogeneous-Poisson arrivals (two day/night cycles) on the "
+            "paper's normal workload."
+        ),
+        cluster=ClusterSpec(n_processors=scale.n_processors),
+        workload=workload,
+        tags=("load", "trace"),
+    )
+
+
+def _trace_bursty(scale: ExperimentScale) -> ScenarioSpec:
+    workload = normal_paper_workload(scale.n_tasks)
+    horizon = _horizon(scale, workload)
+    # Calm trickle with 10x bursts over 20% of each cycle; the cycle-mean
+    # rate lands the workload inside ~60% of the horizon.
+    mean_rate = scale.n_tasks / (0.6 * horizon)
+    base_rate = mean_rate / 2.8
+    cycle = 0.15 * horizon
+    workload.arrivals = bursty_profile(
+        scale.n_tasks,
+        base_rate=base_rate,
+        burst_rate=10.0 * base_rate,
+        burst_seconds=0.2 * cycle,
+        calm_seconds=0.8 * cycle,
+    )
+    return ScenarioSpec(
+        name="trace-bursty",
+        description=(
+            "The bursty trace-generator profile: calm/burst piecewise-rate "
+            "inhomogeneous-Poisson arrivals (10x rate bursts) on the paper's "
+            "normal workload."
+        ),
+        cluster=ClusterSpec(n_processors=scale.n_processors),
+        workload=workload,
+        tags=("load", "trace"),
+    )
+
+
 #: Scenario builders keyed by their stable names (insertion order is the
 #: presentation order of ``repro scenarios list``).
 SCENARIO_BUILDERS: Dict[str, Callable[[ExperimentScale], ScenarioSpec]] = {
@@ -243,6 +295,8 @@ SCENARIO_BUILDERS: Dict[str, Callable[[ExperimentScale], ScenarioSpec]] = {
     "elastic-scale-out": _elastic_scale_out,
     "straggler-node": _straggler_node,
     "heavy-tail-mix": _heavy_tail_mix,
+    "trace-diurnal": _trace_diurnal,
+    "trace-bursty": _trace_bursty,
 }
 
 

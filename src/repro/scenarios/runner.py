@@ -42,6 +42,7 @@ from .spec import ScenarioSpec
 __all__ = [
     "ScenarioCell",
     "ScenarioCellOutcome",
+    "cell_workload",
     "run_scenario_cell",
     "ScenarioAggregate",
     "ScenarioMatrixResult",
@@ -110,6 +111,19 @@ class ScenarioCellOutcome:
     scheduling_seconds: float = field(default=0.0, compare=False)
     dispatch_seconds: float = field(default=0.0, compare=False)
     drain_seconds: float = field(default=0.0, compare=False)
+
+
+def cell_workload(cell: ScenarioCell):
+    """The exact task set :func:`run_scenario_cell` would simulate.
+
+    Re-derives the cell's workload child stream (first of the four spawned
+    from ``seed_entropy``), so recording tools — notably
+    ``repro traces record`` — capture the bit-identical arrival stream a run
+    of the cell consumes, without simulating anything.
+    """
+    seed_seq = np.random.SeedSequence(cell.seed_entropy)
+    workload_rng = np.random.default_rng(seed_seq.spawn(4)[0])
+    return generate_workload(cell.spec.workload, workload_rng)
 
 
 def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:

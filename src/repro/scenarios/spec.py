@@ -12,7 +12,7 @@ with bit-identical results (see :mod:`repro.scenarios.runner`).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 from ..cluster.cluster import Cluster
 from ..cluster.topology import (
@@ -31,6 +31,7 @@ from ..util.validation import (
     require_positive_int,
 )
 from ..workloads.generator import WorkloadSpec
+from ..workloads.traces import TraceSpec
 from .dynamics import DynamicsAction, DynamicsTimeline, WorkerJoin
 
 __all__ = ["ClusterSpec", "ScenarioSpec"]
@@ -142,13 +143,16 @@ class ScenarioSpec:
     ``schedulers`` is the default scheduler set the scenario exercises; the
     matrix runner may override it.  ``dynamics`` is the declarative action
     timeline — pass it through :meth:`timeline` to get the validated object
-    the simulator consumes.
+    the simulator consumes.  ``workload`` is either a generated
+    :class:`~repro.workloads.generator.WorkloadSpec` or a replayed
+    :class:`~repro.workloads.traces.TraceSpec`; both are plain picklable
+    data and both flow through the same cell runner.
     """
 
     name: str
     description: str
     cluster: ClusterSpec
-    workload: WorkloadSpec
+    workload: Union[WorkloadSpec, TraceSpec]
     dynamics: Tuple[DynamicsAction, ...] = ()
     schedulers: Tuple[str, ...] = tuple(ALL_SCHEDULER_NAMES)
     tags: Tuple[str, ...] = ()

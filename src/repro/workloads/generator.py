@@ -58,8 +58,14 @@ def generate_workload(spec: WorkloadSpec, rng: RNGLike = None) -> TaskSet:
     """Materialise a :class:`TaskSet` from *spec*.
 
     Sizes and arrival times are drawn from independent sub-streams of *rng*
-    so changing one distribution never perturbs the other.
+    so changing one distribution never perturbs the other.  Replayed specs
+    (anything exposing ``materialise``, e.g. a trace-backed
+    :class:`~repro.workloads.traces.TraceSpec`) bypass the rng entirely:
+    their task stream is fixed by the recorded data.
     """
+    materialise = getattr(spec, "materialise", None)
+    if materialise is not None:
+        return materialise(rng)
     size_rng, arrival_rng = spawn_rngs(rng, 2)
     sizes = spec.sizes.sample(spec.n_tasks, size_rng)
     arrivals = spec.arrivals.times(spec.n_tasks, arrival_rng)

@@ -108,12 +108,26 @@ def paper_workloads(n_tasks: int) -> Dict[str, WorkloadSpec]:
     }
 
 
-def workload_by_name(name: str, n_tasks: int) -> WorkloadSpec:
-    """Look up a paper workload by its short name."""
+def workload_by_name(name: str, n_tasks: int):
+    """Look up a paper workload by its short name.
+
+    ``trace:<path>`` selects a replayed trace workload instead (see
+    :mod:`repro.workloads.traces`); its task count comes from the trace
+    file, so *n_tasks* is ignored for traces.
+    """
+    key = name.strip()
+    if key.lower().startswith("trace:"):
+        from .traces import TraceSpec
+
+        path = key.split(":", 1)[1]
+        if not path:
+            raise ConfigurationError("trace workload needs a path: trace:<path>")
+        return TraceSpec.from_file(path)
     table = paper_workloads(n_tasks)
-    key = name.strip().lower()
+    key = key.lower()
     if key not in table:
         raise ConfigurationError(
-            f"unknown paper workload {name!r}; expected one of {sorted(table)}"
+            f"unknown paper workload {name!r}; expected one of "
+            f"{sorted(table)} or trace:<path>"
         )
     return table[key]
