@@ -26,6 +26,7 @@ it carries.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from dataclasses import asdict, dataclass, field
@@ -49,9 +50,12 @@ from ..scenarios.runner import (
     run_scenario_cell,
 )
 from ..sim.simulation import SimulationConfig
+from ..telemetry import get_session, span
 from ..util.errors import ConfigurationError, ExperimentInterrupted
 from .spec import CampaignSpec
 from .store import ResultStore, cache_key
+
+logger = logging.getLogger("repro.campaigns")
 
 __all__ = [
     "MANIFEST_FORMAT_VERSION",
@@ -124,16 +128,17 @@ def run_campaign_cell(cell: CampaignCell) -> Dict:
     outcome as a dict.
     """
     start = time.perf_counter()
-    if cell.kind == KIND_FIGURE:
-        job: FigureJob = cell.job
-        figure = run_figure(job.figure_id, scale=job.scale, seed=job.seed)
-        payload = figure_to_dict(figure)
-    elif cell.kind == KIND_SCENARIO:
-        payload = asdict(run_scenario_cell(cell.job))
-    elif cell.kind == KIND_SWEEP:
-        payload = _ga_outcome_to_payload(run_ga_job(cell.job))
-    else:
-        raise ConfigurationError(f"unknown campaign cell kind {cell.kind!r}")
+    with span(f"cell:{cell.cell_id}", kind=cell.kind):
+        if cell.kind == KIND_FIGURE:
+            job: FigureJob = cell.job
+            figure = run_figure(job.figure_id, scale=job.scale, seed=job.seed)
+            payload = figure_to_dict(figure)
+        elif cell.kind == KIND_SCENARIO:
+            payload = asdict(run_scenario_cell(cell.job))
+        elif cell.kind == KIND_SWEEP:
+            payload = _ga_outcome_to_payload(run_ga_job(cell.job))
+        else:
+            raise ConfigurationError(f"unknown campaign cell kind {cell.kind!r}")
     return {"payload": payload, "elapsed_seconds": time.perf_counter() - start}
 
 
@@ -492,6 +497,34 @@ def run_campaign(
     interrupted = False
     interrupt_reason = ""
     computed = 0
+    cached_count = len(plan.cells) - len(pending)
+    run_start = time.perf_counter()
+    logger.info(
+        "campaign %s: %d cells (%d cached, %d to compute) via %s",
+        spec.name,
+        len(plan.cells),
+        cached_count,
+        len(pending),
+        executor.describe(),
+    )
+
+    def progress() -> None:
+        # Live progress line: throughput so far, ETA over the cells still
+        # pending, and how much of the campaign the store already covered.
+        elapsed = time.perf_counter() - run_start
+        rate = computed / elapsed if elapsed > 0 else 0.0
+        remaining = len(pending) - computed
+        eta = remaining / rate if rate > 0 else float("inf")
+        hit_rate = 100.0 * cached_count / len(plan.cells) if plan.cells else 0.0
+        logger.info(
+            "campaign %s: %d/%d computed (%.2f cells/s, eta %.0fs, cache-hit %.0f%%)",
+            spec.name,
+            computed,
+            len(pending),
+            rate,
+            eta,
+            hit_rate,
+        )
 
     def persist(cell: CampaignCell, outcome: Dict) -> None:
         nonlocal computed
@@ -513,6 +546,7 @@ def run_campaign(
         statuses[cell.cell_id] = "computed"
         timings[cell.cell_id] = {"elapsed_seconds": outcome["elapsed_seconds"]}
         computed += 1
+        progress()
 
     def checkpoint(aggregates: Optional[Dict] = None, timing: Optional[Dict] = None) -> str:
         return _write_manifest(
@@ -528,48 +562,60 @@ def run_campaign(
         )
 
     manifest_path = checkpoint()
-    stream = executor.imap(run_campaign_cell, pending)
-    try:
-        for cell, outcome in zip(pending, stream):
-            persist(cell, outcome)
-            remaining = len(pending) - sum(
-                1 for c in pending if statuses[c.cell_id] == "computed"
-            )
-            if max_cells is not None and computed >= max_cells and remaining > 0:
-                interrupted = True
-                interrupt_reason = "max-cells"
+    # The campaign root span: every cell span — including those merged back
+    # from worker processes at unwrap time — nests underneath it.
+    with span(
+        f"campaign:{spec.name}",
+        total_cells=len(plan.cells),
+        cached=cached_count,
+        executor=executor.describe(),
+    ):
+        stream = executor.imap(run_campaign_cell, pending)
+        try:
+            for cell, outcome in zip(pending, stream):
+                persist(cell, outcome)
+                remaining = len(pending) - sum(
+                    1 for c in pending if statuses[c.cell_id] == "computed"
+                )
+                if max_cells is not None and computed >= max_cells and remaining > 0:
+                    interrupted = True
+                    interrupt_reason = "max-cells"
+                    manifest_path = checkpoint()
+                    break
                 manifest_path = checkpoint()
-                break
+        except (KeyboardInterrupt, ExperimentInterrupted) as exc:
+            interrupted = True
+            interrupt_reason = "keyboard-interrupt"
+            if isinstance(exc, ExperimentInterrupted):
+                # The executor surfaced results that completed before the
+                # interrupt but were never consumed: keep them, they are paid for.
+                for index in sorted(exc.partial):
+                    cell = pending[index]
+                    if statuses[cell.cell_id] == "pending":
+                        persist(cell, exc.partial[index])
             manifest_path = checkpoint()
-    except (KeyboardInterrupt, ExperimentInterrupted) as exc:
-        interrupted = True
-        interrupt_reason = "keyboard-interrupt"
-        if isinstance(exc, ExperimentInterrupted):
-            # The executor surfaced results that completed before the
-            # interrupt but were never consumed: keep them, they are paid for.
-            for index in sorted(exc.partial):
-                cell = pending[index]
-                if statuses[cell.cell_id] == "pending":
-                    persist(cell, exc.partial[index])
-        manifest_path = checkpoint()
-    finally:
-        # Close the stream *before* the executor: an abandoned parallel
-        # stream (the --max-cells break) cancels its not-yet-started chunks
-        # on GeneratorExit, so the pool shutdown below only waits for the
-        # handful of jobs actually in flight instead of the whole campaign.
-        closer = getattr(stream, "close", None)
-        if closer is not None:
-            closer()
-        if owns_executor:
-            executor.close()
-        store.flush_index()
+        finally:
+            # Close the stream *before* the executor: an abandoned parallel
+            # stream (the --max-cells break) cancels its not-yet-started chunks
+            # on GeneratorExit, so the pool shutdown below only waits for the
+            # handful of jobs actually in flight instead of the whole campaign.
+            closer = getattr(stream, "close", None)
+            if closer is not None:
+                closer()
+            if owns_executor:
+                executor.close()
+            store.flush_index()
 
-    aggregates = timing = None
-    if all(status in ("cached", "computed") for status in statuses.values()):
-        aggregates, timing = _compute_aggregates(plan, store, cached_payloads)
-        interrupted = False
-        interrupt_reason = ""
-        manifest_path = checkpoint(aggregates, timing)
+        aggregates = timing = None
+        if all(status in ("cached", "computed") for status in statuses.values()):
+            aggregates, timing = _compute_aggregates(plan, store, cached_payloads)
+            interrupted = False
+            interrupt_reason = ""
+            manifest_path = checkpoint(aggregates, timing)
+    session = get_session()
+    if session is not None:
+        session.metrics.counter("campaign.cells_computed").inc(computed)
+        session.metrics.counter("campaign.cells_cached").inc(cached_count)
     cached = sum(1 for s in statuses.values() if s == "cached")
     return CampaignResult(
         name=spec.name,

@@ -31,9 +31,11 @@ store, so re-runs and resumes only compute the missing delta.
 from __future__ import annotations
 
 import argparse
+import logging
 import os
 import sys
-from typing import Optional, Sequence
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
 
 from .analysis.scorecard import (
     check_records,
@@ -76,6 +78,18 @@ from .scenarios import (
 from .schedulers.kernels import POLICY_BACKEND_NAMES
 from .schedulers.registry import ALL_SCHEDULER_NAMES
 from .sim.simulation import SIM_BACKENDS
+from .telemetry import (
+    LOG_LEVELS,
+    TelemetrySession,
+    configure_logging,
+    critical_path,
+    load_run_jsonl,
+    render_tree,
+    summarize_spans,
+    telemetry_session,
+    top_spans,
+    write_run_jsonl,
+)
 from .util.errors import ExperimentInterrupted, ReproError
 from .workloads.generator import generate_workload
 from .workloads.suites import paper_workloads, workload_by_name
@@ -89,6 +103,8 @@ from .workloads.traces import (
 
 __all__ = ["build_parser", "main"]
 
+logger = logging.getLogger("repro.cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
@@ -98,6 +114,17 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce the experiments of Page & Naughton (2005): dynamic GA task "
             "scheduling for heterogeneous distributed computing."
         ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=LOG_LEVELS,
+        help="logging verbosity for status output on stderr (default: info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit status logs as one JSON object per line instead of text",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -354,6 +381,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="gate fresh BENCH records against floors and the recorded history",
     )
     _add_scorecard_options(score_check)
+
+    tel_parser = sub.add_parser(
+        "telemetry",
+        help="inspect exported telemetry runs (span JSONL written via --telemetry)",
+    )
+    tel_sub = tel_parser.add_subparsers(dest="telemetry_command", required=True)
+    tel_summarize = tel_sub.add_parser(
+        "summarize", help="hot phases, critical path and metrics of one run"
+    )
+    tel_summarize.add_argument("path", help="telemetry run file (.jsonl)")
+    tel_tree = tel_sub.add_parser("tree", help="render the run's span tree")
+    tel_tree.add_argument("path", help="telemetry run file (.jsonl)")
+    tel_tree.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        metavar="D",
+        help="truncate the tree below depth D (roots are depth 0)",
+    )
+    tel_top = tel_sub.add_parser("top", help="individually longest spans of one run")
+    tel_top.add_argument("path", help="telemetry run file (.jsonl)")
+    tel_top.add_argument(
+        "--limit", type=int, default=10, metavar="N", help="rows to show (default: 10)"
+    )
     return parser
 
 
@@ -393,6 +444,24 @@ def _add_campaign_run_options(parser: argparse.ArgumentParser) -> None:
         metavar="K",
         help="stop after K computed cells (simulated interruption; the run "
         "exits with code 3 and can be resumed)",
+    )
+    _add_telemetry_option(parser)
+
+
+def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
+    # Guard against double registration: `campaigns run` composes
+    # _add_common_options with _add_campaign_run_options.
+    if any(action.dest == "telemetry" for action in parser._actions):
+        return
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a span/metrics telemetry run of this command and export "
+            "it as JSONL to PATH (inspect with `repro-scheduler telemetry`); "
+            "results are bit-identical with or without this flag"
+        ),
     )
 
 
@@ -461,6 +530,83 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
             "either way (see repro.schedulers.kernels)"
         ),
     )
+    _add_telemetry_option(parser)
+
+
+@contextmanager
+def _telemetry_export(args: argparse.Namespace) -> Iterator[None]:
+    """Run the wrapped command under a telemetry session when requested.
+
+    The session is exported to ``--telemetry PATH`` even when the command is
+    interrupted or fails — a partial span tree is exactly what one wants when
+    debugging why a run died.
+    """
+    path = getattr(args, "telemetry", None)
+    if not path:
+        yield
+        return
+    session = TelemetrySession()
+    try:
+        with telemetry_session(session):
+            yield
+    finally:
+        meta = {
+            "command": args.command,
+            "seed": getattr(args, "seed", None),
+            "scale": getattr(args, "scale", None),
+        }
+        run_id = write_run_jsonl(path, session, meta=meta)
+        logger.info(
+            "telemetry run %s: %d spans (%d dropped) -> %s",
+            run_id,
+            len(session.spans),
+            session.dropped_spans,
+            path,
+        )
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    run = load_run_jsonl(args.path)
+    spans = run["spans"]
+    if args.telemetry_command == "tree":
+        print(f"run {run['run_id']}: {len(spans)} spans")
+        print(render_tree(spans, max_depth=args.max_depth))
+        return 0
+    if args.telemetry_command == "top":
+        print(f"run {run['run_id']}: top {min(args.limit, len(spans))} spans by duration")
+        for span_obj in top_spans(spans, limit=args.limit):
+            worker = f" [{span_obj.worker}]" if span_obj.worker else ""
+            print(f"  {span_obj.duration * 1000.0:10.3f}ms  {span_obj.name}{worker}")
+        return 0
+    dropped = f", {run['dropped_spans']} dropped" if run["dropped_spans"] else ""
+    print(f"run {run['run_id']}: {len(spans)} spans{dropped} (meta: {run['meta']})")
+    print("\nhot phases (by total time):")
+    for row in summarize_spans(spans)[:15]:
+        print(
+            f"  {row['name']:40s} x{row['count']:<6d} "
+            f"total {row['total_seconds'] * 1000.0:10.3f}ms  "
+            f"mean {row['mean_seconds'] * 1000.0:9.3f}ms  "
+            f"{row['share'] * 100.0:5.1f}%"
+        )
+    path = critical_path(spans)
+    if path:
+        print("\ncritical path (heaviest root-to-leaf chain):")
+        for depth, span_obj in enumerate(path):
+            print(f"  {'  ' * depth}{span_obj.name}  {span_obj.duration * 1000.0:.3f}ms")
+    metrics = run["metrics"]
+    counters = metrics.get("counters", {})
+    if counters:
+        print("\ncounters:")
+        for name, value in sorted(counters.items()):
+            print(f"  {name}: {value}")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        print("\nhistograms:")
+        for name, hist in sorted(histograms.items()):
+            total = hist.get("total", 0)
+            mean = (hist.get("sum", 0.0) / total) if total else 0.0
+            print(f"  {name}: n={total} mean={mean:.2f}")
+    return 0
 
 
 def _normalize_jobs(jobs: Optional[int]) -> Optional[int]:
@@ -526,7 +672,7 @@ def _cmd_all(args: argparse.Namespace) -> int:
     results = []
     try:
         for figure_id in list_figures():
-            print(f"== running {figure_id} at scale {scale.name} ==", file=sys.stderr)
+            logger.info("running %s at scale %s", figure_id, scale.name)
             result = run_figure(figure_id, scale=scale, seed=args.seed, executor=executor)
             results.append(result)
             report = figure_report(result)
@@ -598,7 +744,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     # aggregates are what one needs to debug a conservation violation.
     if args.output:
         path = save_scenario_matrix_json(result, args.output)
-        print(f"wrote {path}", file=sys.stderr)
+        logger.info("wrote %s", path)
     if not result.conservation_ok():
         print("error: task conservation violated in at least one cell", file=sys.stderr)
         return 1
@@ -834,34 +980,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_output=args.log_json)
     try:
-        if args.command == "list":
-            return _cmd_list()
-        if args.command == "all":
-            return _cmd_all(args)
-        if args.command == "compare":
-            return _cmd_compare(args)
-        if args.command == "scenarios":
-            if args.scenario_command == "list":
-                return _cmd_scenarios_list(args)
-            return _cmd_scenarios_run(args)
-        if args.command == "campaigns":
-            if args.campaign_command == "status":
-                return _cmd_campaigns_status(args)
-            if args.campaign_command == "resume":
-                return _cmd_campaigns_resume(args)
-            return _cmd_campaigns_run(args)
-        if args.command == "traces":
-            if args.trace_command == "record":
-                return _cmd_traces_record(args)
-            if args.trace_command == "make":
-                return _cmd_traces_make(args)
-            return _cmd_traces_info(args)
-        if args.command == "scorecard":
-            if args.scorecard_command == "build":
-                return _cmd_scorecard_build(args)
-            return _cmd_scorecard_check(args)
-        return _cmd_figure(args.command, args)
+        with _telemetry_export(args):
+            if args.command == "list":
+                return _cmd_list()
+            if args.command == "all":
+                return _cmd_all(args)
+            if args.command == "compare":
+                return _cmd_compare(args)
+            if args.command == "scenarios":
+                if args.scenario_command == "list":
+                    return _cmd_scenarios_list(args)
+                return _cmd_scenarios_run(args)
+            if args.command == "campaigns":
+                if args.campaign_command == "status":
+                    return _cmd_campaigns_status(args)
+                if args.campaign_command == "resume":
+                    return _cmd_campaigns_resume(args)
+                return _cmd_campaigns_run(args)
+            if args.command == "traces":
+                if args.trace_command == "record":
+                    return _cmd_traces_record(args)
+                if args.trace_command == "make":
+                    return _cmd_traces_make(args)
+                return _cmd_traces_info(args)
+            if args.command == "scorecard":
+                if args.scorecard_command == "build":
+                    return _cmd_scorecard_build(args)
+                return _cmd_scorecard_check(args)
+            if args.command == "telemetry":
+                return _cmd_telemetry(args)
+            return _cmd_figure(args.command, args)
     except ExperimentInterrupted as exc:
         # Ctrl-C mid-map: the executors already terminated their workers.
         # 130 is the conventional SIGINT exit code, distinct from 2

@@ -33,9 +33,9 @@ from typing import Callable, List, Optional, Union
 
 import numpy as np
 
+from ..telemetry import PhaseTimer
 from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike, ensure_rng
-from ..util.timing import TimingRecorder
 from ..util.validation import (
     require_at_least,
     require_non_negative,
@@ -153,7 +153,7 @@ class GAResult:
     makespan_history: List[float]
     mean_fitness_history: List[float]
     wall_time_seconds: float
-    timings: TimingRecorder = field(default_factory=TimingRecorder, repr=False)
+    timings: PhaseTimer = field(default_factory=PhaseTimer, repr=False)
 
     @property
     def reduction_fraction(self) -> float:
@@ -219,7 +219,7 @@ class GeneticAlgorithm:
             processor becomes idle" condition.
         """
         cfg = self.config
-        timings = TimingRecorder()
+        timings = PhaseTimer()
         start = _time.perf_counter()
 
         with timings.measure("initialisation"):
@@ -322,6 +322,15 @@ class GeneticAlgorithm:
             population = children
 
         assert best_chromosome is not None and initial_best is not None
+        # One span subtree per GA run when telemetry is on (no-op otherwise):
+        # the per-phase attribution the figure-4 analysis reads from
+        # ``GAResult.timings`` becomes visible to `repro telemetry` too.
+        timings.flush(
+            "ga:evolve",
+            generations=generation,
+            n_tasks=problem.n_tasks,
+            stop_reason=stop_reason.value,
+        )
         best_assignment = decode_assignment(
             best_chromosome, problem.n_tasks, problem.n_processors
         )

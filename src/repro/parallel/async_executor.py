@@ -48,6 +48,9 @@ from collections import deque
 from multiprocessing.connection import wait as connection_wait
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
 
+from ..telemetry import get_session
+from ..telemetry import unwrap as _telemetry_unwrap
+from ..telemetry import wrap_jobs_fn as _telemetry_wrap
 from ..util.errors import ConfigurationError, ExperimentInterrupted, ReproError
 from .executor import ExperimentExecutor, probe_picklable, warn_serial_fallback
 
@@ -224,6 +227,12 @@ class AsyncWorkStealingExecutor(ExperimentExecutor):
                 self._steal(worker)
         return worker.local.popleft() if worker.local else None
 
+    def _record_steals(self, steals_before: int) -> None:
+        """Fold this map's steal count into the active telemetry session."""
+        session = get_session()
+        if session is not None and self.steals > steals_before:
+            session.metrics.counter("executor.steals").inc(self.steals - steals_before)
+
     def map(self, fn: Callable[[J], R], jobs: Sequence[J]) -> List[R]:
         return list(self.imap(fn, jobs))
 
@@ -239,6 +248,13 @@ class AsyncWorkStealingExecutor(ExperimentExecutor):
 
     def _stream(self, fn: Callable[[J], R], jobs: List[J]) -> Iterator[R]:
         self._ensure_workers()
+        # With a telemetry session active in the driver, jobs run inside a
+        # worker-side session and come back as (result, snapshot) envelopes;
+        # unwrapping at yield time merges each worker's spans/metrics into
+        # the driver's tree in emit (= submission) order.  Without a session
+        # this is fn, untouched.
+        fn = _telemetry_wrap(fn)
+        steals_before = self.steals
         n = len(jobs)
         block = self.block_size or max(1, n // (4 * self.jobs))
         shared: deque = deque(range(n))
@@ -279,7 +295,7 @@ class AsyncWorkStealingExecutor(ExperimentExecutor):
             dispatch_idle()
             while next_emit < n:
                 while next_emit in buffer:
-                    yield buffer.pop(next_emit)
+                    yield _telemetry_unwrap(buffer.pop(next_emit))
                     next_emit += 1
                     dispatch_idle()
                 if next_emit >= n:
@@ -310,13 +326,17 @@ class AsyncWorkStealingExecutor(ExperimentExecutor):
                 if failure is not None:
                     raise failure
                 dispatch_idle()
+            self._record_steals(steals_before)
         except KeyboardInterrupt:
             # Results already yielded were delivered to the consumer; the
             # reorder buffer holds the only completed-but-undelivered work.
             # Keeping just that window bounds driver memory at O(max_inflight)
             # over arbitrarily long campaigns.
             self._terminate_workers()
-            raise ExperimentInterrupted(dict(buffer), n) from None
+            self._record_steals(steals_before)
+            raise ExperimentInterrupted(
+                {index: _telemetry_unwrap(value) for index, value in buffer.items()}, n
+            ) from None
         except BaseException:
             # A job raised, the pool collapsed, or the consumer abandoned the
             # stream (GeneratorExit): the pipes may still carry stale results

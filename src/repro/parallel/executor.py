@@ -43,6 +43,8 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
 
+from ..telemetry import unwrap as _telemetry_unwrap
+from ..telemetry import wrap_jobs_fn as _telemetry_wrap
 from ..util.errors import ConfigurationError, ExperimentInterrupted
 
 __all__ = [
@@ -240,25 +242,32 @@ class ParallelExecutor(ExperimentExecutor):
     def imap(self, fn: Callable[[J], R], jobs: Sequence[J]) -> Iterator[R]:
         jobs = list(jobs)
         if self._fallback_serial(fn, jobs):
+            # In-process execution: spans nest into the driver's session
+            # naturally, no forwarding envelope needed.
             return (fn(job) for job in jobs)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        # With a telemetry session active in the driver, jobs run inside a
+        # worker-side session and come back as (result, snapshot) envelopes;
+        # unwrapping merges each worker's spans/metrics into the driver's
+        # tree in job order.  Without a session this is fn, untouched.
+        worker_fn = _telemetry_wrap(fn)
         chunks = [
             jobs[i : i + self.chunksize] for i in range(0, len(jobs), self.chunksize)
         ]
-        futures = [self._pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        futures = [self._pool.submit(_run_chunk, worker_fn, chunk) for chunk in chunks]
 
         def _stream() -> Iterator[R]:
             try:
                 for future in futures:
                     for result in future.result():
-                        yield result
+                        yield _telemetry_unwrap(result)
             except KeyboardInterrupt:
                 partial = {}
                 for k, future in enumerate(futures):
                     if future.done() and not future.cancelled() and future.exception() is None:
                         for offset, result in enumerate(future.result()):
-                            partial[k * self.chunksize + offset] = result
+                            partial[k * self.chunksize + offset] = _telemetry_unwrap(result)
                 self._terminate_workers()
                 raise ExperimentInterrupted(partial, len(jobs)) from None
             except BaseException:

@@ -21,6 +21,7 @@ the aggregate records whether any cell violated it.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -32,12 +33,15 @@ from ..experiments.stats import SampleSummary, summarise
 from ..parallel.executor import ExperimentExecutor, resolve_executor
 from ..schedulers.registry import make_scheduler
 from ..sim.simulation import SimulationConfig, simulate_schedule
+from ..telemetry import span
 from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike, ensure_rng
 from ..workloads.generator import generate_workload
 from .dynamics import DynamicsTimeline
 from .registry import get_scenario
 from .spec import ScenarioSpec
+
+logger = logging.getLogger("repro.scenarios")
 
 __all__ = [
     "ScenarioCell",
@@ -133,6 +137,16 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
     layout as the experiment harness's comparison repeats, so cells are
     reproducible independent of executor and process placement.
     """
+    with span(
+        f"scenario:{cell.spec.name}/{cell.scheduler}/r{cell.repeat}",
+        scenario=cell.spec.name,
+        scheduler=cell.scheduler,
+        repeat=cell.repeat,
+    ):
+        return _run_scenario_cell_impl(cell)
+
+
+def _run_scenario_cell_impl(cell: ScenarioCell) -> ScenarioCellOutcome:
     seed_seq = np.random.SeedSequence(cell.seed_entropy)
     workload_rng, cluster_rng, sim_seed_rng, sched_seed_rng = (
         np.random.default_rng(child) for child in seed_seq.spawn(4)
@@ -487,7 +501,36 @@ def run_scenario_matrix(
         master_rng=ensure_rng(seed),
     )
 
-    outcomes = executor.map(run_scenario_cell, cells)
+    logger.info(
+        "scenario matrix: %d cells (%d scenarios x %d schedulers x %d repeats) via %s",
+        len(cells),
+        len(specs),
+        len(scheduler_union),
+        n_repeats,
+        executor.describe(),
+    )
+    start = time.perf_counter()
+    outcomes: List[ScenarioCellOutcome] = []
+    with span(
+        "scenarios:matrix",
+        n_cells=len(cells),
+        repeats=n_repeats,
+        executor=executor.describe(),
+    ):
+        # Stream rather than map so progress is reported as cells land —
+        # aggregation still folds the full list in submission order below.
+        for outcome in executor.imap(run_scenario_cell, cells):
+            outcomes.append(outcome)
+            elapsed = time.perf_counter() - start
+            rate = len(outcomes) / elapsed if elapsed > 0 else 0.0
+            eta = (len(cells) - len(outcomes)) / rate if rate > 0 else float("inf")
+            logger.info(
+                "scenario matrix: %d/%d cells (%.2f cells/s, eta %.0fs)",
+                len(outcomes),
+                len(cells),
+                rate,
+                eta,
+            )
     return ScenarioMatrixResult(
         scenarios=[spec.name for spec in specs],
         schedulers=scheduler_union,

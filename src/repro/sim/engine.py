@@ -42,6 +42,9 @@ class EventQueue:
         self._heap: List[Tuple[float, int, int, int, Event]] = []
         self._pushed = 0
         self._tombstones: Set[int] = set()
+        #: Cancelled records discarded by lazy skipping (telemetry reads
+        #: this once per run; the skip loop itself stays branch-free).
+        self.tombstones_skipped = 0
 
     def push(self, event: Event) -> None:
         """Insert an event."""
@@ -68,6 +71,7 @@ class EventQueue:
         while heap and heap[0][1] in tombstones:
             tombstones.discard(heap[0][1])
             heapq.heappop(heap)
+            self.tombstones_skipped += 1
 
     def pop(self) -> Event:
         """Remove and return the earliest live event (raises when empty)."""

@@ -236,7 +236,7 @@ def run_static_replay(sim: "DistributedSystemSimulation") -> Tuple[float, int]:
     # are "scheduling", worker fetches "dispatch", completion processing
     # (incl. the terminal drain) "drain".  ``None`` when timing is off so
     # the hot loop pays no clock reads by default.
-    phases = sim._phase_seconds if sim.config.phase_timing else None
+    phases = sim._phase_seconds if sim._phase_timing else None
     normals = _NormalBlocks(sim._network_rng)
     sample_queues = sim._sample_queues
     schedule_all = master.schedule_all_available

@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Sequ
 from ..cluster.cluster import Cluster
 from ..schedulers.base import Scheduler
 from ..schedulers.kernels import POLICY_BACKEND_NAMES
+from ..telemetry import get_session
 from ..util.errors import SimulationError
 from ..util.rng import RNGLike, spawn_rngs
 from ..workloads.task import Task, TaskSet
@@ -212,6 +213,11 @@ class DistributedSystemSimulation:
         self._counts = {"failures": 0, "recoveries": 0, "joins": 0}
         self._injected = 0
         self._phase_seconds = {"scheduling": 0.0, "dispatch": 0.0, "drain": 0.0}
+        # Phase attribution turns on when asked for explicitly *or* when a
+        # telemetry session is active at construction time (the per-run
+        # phase spans would otherwise be empty).  Purely observational
+        # either way: results stay bit-identical.
+        self._phase_timing = self.config.phase_timing or get_session() is not None
 
         self.engine.register(EventKind.TASK_ARRIVAL, self._on_task_arrival)
         self.engine.register(
@@ -248,7 +254,7 @@ class DistributedSystemSimulation:
         Identity when phase timing is off, so the hot event loop pays no
         clock reads unless the attribution was asked for.
         """
-        if not self.config.phase_timing:
+        if not self._phase_timing:
             return handler
         seconds = self._phase_seconds
 
@@ -414,7 +420,47 @@ class DistributedSystemSimulation:
         return end_time, self.engine.processed_events
 
     def run(self) -> SimulationResult:
-        """Execute the simulation to completion and return metrics plus trace."""
+        """Execute the simulation to completion and return metrics plus trace.
+
+        With an active telemetry session the run is wrapped in a
+        ``sim:run`` span with one ``phase:*`` child per accumulated phase,
+        and the run's volume counters/histograms (events processed,
+        tombstones skipped, kernel batch sizes, queue depths) land in the
+        session's metrics registry.  All of it reads clocks and counters
+        only — never an RNG stream — so the result is bit-identical to an
+        unobserved run.
+        """
+        session = get_session()
+        if session is None:
+            return self._run_impl()
+        with session.span(
+            "sim:run",
+            scheduler=self.scheduler.name,
+            backend="fast" if self.uses_fast_path() else "event",
+            n_tasks=len(self.tasks),
+            n_processors=self.cluster.n_processors,
+        ):
+            result = self._run_impl()
+            for phase, seconds in self._phase_seconds.items():
+                session.record_span(f"phase:{phase}", seconds)
+            metrics = session.metrics
+            metrics.counter("sim.runs").inc()
+            metrics.counter("sim.events_processed").inc(result.events_processed)
+            metrics.counter("sim.tombstones_skipped").inc(
+                self.engine.queue.tombstones_skipped
+            )
+            metrics.counter("sim.scheduler_invocations").inc(
+                result.scheduler_invocations
+            )
+            if result.batch_sizes:
+                metrics.histogram("sim.batch_sizes").observe_many(result.batch_sizes)
+            if len(self._queue_samples):
+                metrics.histogram("sim.queue_depth").observe_many(
+                    self._queue_samples.column("queued")
+                )
+        return result
+
+    def _run_impl(self) -> SimulationResult:
         self.scheduler.reset()
         if self.uses_fast_path():
             end_time, events_processed = run_static_replay(self)
@@ -459,9 +505,7 @@ class DistributedSystemSimulation:
             n_processors=self.cluster.n_processors,
             tasks_injected=self._injected,
             events_processed=events_processed,
-            phase_seconds=(
-                dict(self._phase_seconds) if self.config.phase_timing else {}
-            ),
+            phase_seconds=(dict(self._phase_seconds) if self._phase_timing else {}),
         )
 
 

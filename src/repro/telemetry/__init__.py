@@ -1,0 +1,95 @@
+"""Unified telemetry: hierarchical spans, metrics, and run introspection.
+
+The subsystem has five pieces:
+
+* :mod:`~repro.telemetry.spans` — the span tree (context-manager +
+  decorator API), session activation, and :class:`PhaseTimer` for
+  accumulated phase attribution;
+* :mod:`~repro.telemetry.metrics` — counters, gauges and numpy-binned
+  histograms with additive cross-process merging;
+* :mod:`~repro.telemetry.remote` — forwarding of worker-side spans/metrics
+  through the parallel executors back to the driver's tree;
+* :mod:`~repro.telemetry.export` — JSONL export/import with
+  content-addressed run ids (``repro telemetry`` reads these);
+* :mod:`~repro.telemetry.introspect` — tree rendering, hot-phase summaries
+  and the critical path.
+
+Two contracts hold everywhere (and are tested):
+
+* **RNG-inert** — telemetry only ever reads the wall clock; enabled and
+  disabled runs produce bit-identical results on both sim backends.
+* **Free when off** — with no active session the instrumentation reduces
+  to a module-global read; the disabled path is gated at ≤2% on the
+  paper-scale fast-path benchmark (``BENCH_telemetry.json``).
+"""
+
+from .export import (
+    TELEMETRY_FORMAT_VERSION,
+    content_run_id,
+    load_run_jsonl,
+    write_run_jsonl,
+)
+from .introspect import (
+    critical_path,
+    render_tree,
+    span_children,
+    summarize_spans,
+    top_spans,
+    validate_span_tree,
+)
+from .logconfig import LOG_LEVELS, JsonLogFormatter, configure_logging
+from .metrics import DEFAULT_EDGES, Counter, Gauge, Histogram, MetricsRegistry
+from .remote import Telemetered, WorkerTelemetry, unwrap, wrap_jobs_fn
+from .spans import (
+    MAX_SPANS,
+    PhaseTimer,
+    Span,
+    TelemetrySession,
+    disable,
+    enable,
+    get_session,
+    span,
+    telemetry_session,
+    traced,
+)
+
+__all__ = [
+    # spans
+    "MAX_SPANS",
+    "Span",
+    "TelemetrySession",
+    "PhaseTimer",
+    "get_session",
+    "enable",
+    "disable",
+    "telemetry_session",
+    "span",
+    "traced",
+    # metrics
+    "DEFAULT_EDGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # remote
+    "Telemetered",
+    "WorkerTelemetry",
+    "wrap_jobs_fn",
+    "unwrap",
+    # export
+    "TELEMETRY_FORMAT_VERSION",
+    "content_run_id",
+    "write_run_jsonl",
+    "load_run_jsonl",
+    # introspect
+    "span_children",
+    "validate_span_tree",
+    "render_tree",
+    "summarize_spans",
+    "top_spans",
+    "critical_path",
+    # logging
+    "LOG_LEVELS",
+    "configure_logging",
+    "JsonLogFormatter",
+]

@@ -1,0 +1,113 @@
+"""JSONL export/import of telemetry runs, with content-addressed run ids.
+
+One run is one ``.jsonl`` file: a header line, one line per span (in
+creation order), and one metrics line::
+
+    {"kind": "telemetry_run", "format_version": 1, "run_id": "tr-...", ...}
+    {"kind": "span", "name": "campaign:ci", "span_id": 0, ...}
+    ...
+    {"kind": "metrics", "counters": {...}, "gauges": {...}, "histograms": {...}}
+
+The run id is content-addressed over the run's *identity* (the ``meta``
+dict the caller supplies: command, seed, scale — never timings), so the
+same configuration exports under the same id on every machine while two
+different runs can never collide silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional
+
+from ..util.errors import ConfigurationError
+from .spans import Span, TelemetrySession
+
+__all__ = [
+    "TELEMETRY_FORMAT_VERSION",
+    "content_run_id",
+    "write_run_jsonl",
+    "load_run_jsonl",
+]
+
+TELEMETRY_FORMAT_VERSION = 1
+
+
+def content_run_id(identity: Dict[str, object]) -> str:
+    """``tr-``-prefixed sha256 over the canonical JSON of *identity*."""
+    canonical = json.dumps(identity, sort_keys=True, default=str)
+    return "tr-" + hashlib.sha256(canonical.encode("utf8")).hexdigest()[:16]
+
+
+def write_run_jsonl(
+    path: str,
+    session: TelemetrySession,
+    *,
+    run_id: Optional[str] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> str:
+    """Export *session* to *path*; returns the run id used.
+
+    Spans are written sorted by ``span_id`` (creation order — the session
+    appends them in close order, children first).
+    """
+    meta = dict(meta or {})
+    if run_id is None:
+        run_id = content_run_id(meta)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf8") as handle:
+        header = {
+            "kind": "telemetry_run",
+            "format_version": TELEMETRY_FORMAT_VERSION,
+            "run_id": run_id,
+            "meta": meta,
+            "n_spans": len(session.spans),
+            "dropped_spans": session.dropped_spans,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for span in sorted(session.spans, key=lambda s: s.span_id):
+            line = {"kind": "span"}
+            line.update(span.to_dict())
+            handle.write(json.dumps(line) + "\n")
+        metrics = {"kind": "metrics"}
+        metrics.update(session.metrics.snapshot())
+        handle.write(json.dumps(metrics) + "\n")
+    return run_id
+
+
+def load_run_jsonl(path: str) -> Dict[str, object]:
+    """Load an exported run: ``{"run_id", "meta", "spans", "metrics", ...}``.
+
+    ``spans`` come back as :class:`~repro.telemetry.spans.Span` objects in
+    creation order; ``metrics`` is the plain snapshot dict.
+    """
+    if not os.path.exists(path):
+        raise ConfigurationError(f"no telemetry run at {path!r}")
+    with open(path, encoding="utf8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines or lines[0].get("kind") != "telemetry_run":
+        raise ConfigurationError(
+            f"{os.path.basename(path)}: not a telemetry run export "
+            "(missing the telemetry_run header line)"
+        )
+    header = lines[0]
+    if header.get("format_version") != TELEMETRY_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"{os.path.basename(path)}: unsupported telemetry format version "
+            f"{header.get('format_version')!r}"
+        )
+    spans = [Span.from_dict(line) for line in lines[1:] if line.get("kind") == "span"]
+    metrics: Dict[str, object] = {}
+    for line in lines[1:]:
+        if line.get("kind") == "metrics":
+            metrics = {k: v for k, v in line.items() if k != "kind"}
+    return {
+        "run_id": header.get("run_id", ""),
+        "meta": header.get("meta", {}),
+        "n_spans": header.get("n_spans", len(spans)),
+        "dropped_spans": header.get("dropped_spans", 0),
+        "spans": spans,
+        "metrics": metrics,
+    }

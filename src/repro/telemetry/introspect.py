@@ -1,0 +1,138 @@
+"""Span-tree introspection: tree rendering, hot-phase summaries, critical path.
+
+Pure functions over a list of :class:`~repro.telemetry.spans.Span` — the
+backing of ``repro telemetry summarize|tree|top`` and reusable from tests
+and notebooks.  All of them tolerate orphan spans (a parent dropped past
+the session cap, or a snapshot merged with no span open): orphans are
+treated as extra roots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .spans import Span
+
+__all__ = [
+    "span_children",
+    "validate_span_tree",
+    "render_tree",
+    "summarize_spans",
+    "top_spans",
+    "critical_path",
+]
+
+
+def span_children(spans: Sequence[Span]) -> Dict[Optional[int], List[Span]]:
+    """Children grouped by parent id (``None`` holds the roots, plus orphans).
+
+    Children keep creation (``span_id``) order.
+    """
+    known = {span.span_id for span in spans}
+    children: Dict[Optional[int], List[Span]] = {None: []}
+    for span in sorted(spans, key=lambda s: s.span_id):
+        parent = span.parent_id if span.parent_id in known else None
+        children.setdefault(parent, []).append(span)
+    return children
+
+
+def validate_span_tree(spans: Sequence[Span]) -> List[str]:
+    """Structural problems in the tree (empty list = sound).
+
+    Checks id uniqueness, resolvable parents, no self-parenting, and that
+    no child starts before its parent was created (span ids grow with
+    creation order, so a child's id must exceed its parent's).
+    """
+    problems: List[str] = []
+    seen: Dict[int, Span] = {}
+    for span in spans:
+        if span.span_id in seen:
+            problems.append(f"duplicate span id {span.span_id} ({span.name!r})")
+        seen[span.span_id] = span
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        if span.parent_id == span.span_id:
+            problems.append(f"span {span.span_id} ({span.name!r}) is its own parent")
+        elif span.parent_id not in seen:
+            problems.append(
+                f"span {span.span_id} ({span.name!r}) references missing "
+                f"parent {span.parent_id}"
+            )
+        elif span.parent_id > span.span_id:
+            problems.append(
+                f"span {span.span_id} ({span.name!r}) precedes its parent "
+                f"{span.parent_id}"
+            )
+    return problems
+
+
+def _format_span(span: Span) -> str:
+    worker = f" [{span.worker}]" if span.worker else ""
+    return f"{span.name}  {span.duration * 1000.0:.3f}ms{worker}"
+
+
+def render_tree(spans: Sequence[Span], max_depth: Optional[int] = None) -> str:
+    """The span tree as an indented text listing."""
+    if not spans:
+        return "(no spans)"
+    children = span_children(spans)
+    lines: List[str] = []
+
+    def walk(parent: Optional[int], depth: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        for span in children.get(parent, []):
+            lines.append("  " * depth + _format_span(span))
+            walk(span.span_id, depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+def summarize_spans(spans: Sequence[Span]) -> List[Dict[str, object]]:
+    """Per-name aggregate rows: count, total/mean seconds, share of the run.
+
+    ``share`` is each name's total over the *root* total (the sum of root
+    span durations), so nested phases read as fractions of end-to-end time.
+    Rows come back sorted by total, descending.
+    """
+    totals: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for span in spans:
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        counts[span.name] = counts.get(span.name, 0) + 1
+    root_total = sum(span.duration for span in span_children(spans)[None])
+    rows = [
+        {
+            "name": name,
+            "count": counts[name],
+            "total_seconds": total,
+            "mean_seconds": total / counts[name],
+            "share": (total / root_total) if root_total > 0 else 0.0,
+        }
+        for name, total in totals.items()
+    ]
+    rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+    return rows
+
+
+def top_spans(spans: Sequence[Span], limit: int = 10) -> List[Span]:
+    """The *limit* individually longest spans, longest first."""
+    return sorted(spans, key=lambda s: s.duration, reverse=True)[: max(0, int(limit))]
+
+
+def critical_path(spans: Sequence[Span]) -> List[Span]:
+    """Heaviest root-to-leaf chain: at each level, follow the longest child.
+
+    For the sequential span trees the runners produce, this is the chain of
+    regions that bounded the run's wall clock — the place to optimise first.
+    """
+    children = span_children(spans)
+    path: List[Span] = []
+    level = children.get(None, [])
+    while level:
+        heaviest = max(level, key=lambda s: s.duration)
+        path.append(heaviest)
+        level = children.get(heaviest.span_id, [])
+    return path

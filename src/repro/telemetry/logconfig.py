@@ -1,0 +1,62 @@
+"""Structured logging configuration for the CLI and the runners.
+
+All of the package's loggers hang off the ``"repro"`` root (e.g.
+``repro.campaigns``, ``repro.scenarios``), so one :func:`configure_logging`
+call controls every runner's status output.  Two formats: a terse human one
+(the default) and one-JSON-object-per-line for log shippers
+(``--log-json``).  Status output always goes to stderr — stdout stays
+reserved for results, which the CI bit-identity checks diff.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["LOG_LEVELS", "configure_logging", "JsonLogFormatter"]
+
+#: CLI-selectable log levels (``--log-level``).
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: ``{"level", "logger", "message", "time"}``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "time": self.formatTime(record, "%Y-%m-%dT%H:%M:%S"),
+        }
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    json_output: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)configure the ``"repro"`` logger tree; returns the root logger.
+
+    Idempotent: the previous handler is replaced, not stacked, so tests and
+    repeated CLI invocations in one process cannot multiply output lines.
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LOG_LEVELS}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter()
+        if json_output
+        else logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+    )
+    logger.handlers[:] = [handler]
+    logger.propagate = False
+    return logger

@@ -16,7 +16,7 @@ from .tables import (
     format_series_table,
     format_table,
 )
-from .timing import Stopwatch, TimingRecorder, timed
+from .timing import Stopwatch, timed
 from .validation import (
     require_at_least,
     require_finite_array,
@@ -53,7 +53,6 @@ __all__ = [
     "format_key_values",
     # timing
     "Stopwatch",
-    "TimingRecorder",
     "timed",
     # validation
     "require_positive",

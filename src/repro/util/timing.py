@@ -1,13 +1,17 @@
-"""Wall-clock timing helpers used by the figure-4 style experiments."""
+"""Low-level wall-clock primitives (:class:`Stopwatch` and :func:`timed`).
+
+Named phase *accumulation* lives in :class:`repro.telemetry.PhaseTimer`,
+which flushes into the active telemetry session as a span subtree; this
+module keeps only the raw clock helpers it builds on.
+"""
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Iterator, Optional
 
-__all__ = ["Stopwatch", "TimingRecorder", "timed"]
+__all__ = ["Stopwatch", "timed"]
 
 
 class Stopwatch:
@@ -54,42 +58,6 @@ class Stopwatch:
         """Accumulated seconds (including the in-flight interval if running)."""
         extra = 0.0 if self._start is None else time.perf_counter() - self._start
         return self._elapsed + extra
-
-
-@dataclass
-class TimingRecorder:
-    """Accumulate named timing samples (e.g. 'fitness', 'crossover').
-
-    The GA engine uses one of these to attribute its run time to phases,
-    which the figure-4 reproduction reports alongside the total.
-    """
-
-    samples: Dict[str, List[float]] = field(default_factory=dict)
-
-    def record(self, name: str, seconds: float) -> None:
-        """Append one timing sample under *name*."""
-        self.samples.setdefault(name, []).append(float(seconds))
-
-    def total(self, name: str) -> float:
-        """Total seconds recorded under *name* (0.0 if never recorded)."""
-        return float(sum(self.samples.get(name, ())))
-
-    def count(self, name: str) -> int:
-        """Number of samples recorded under *name*."""
-        return len(self.samples.get(name, ()))
-
-    def grand_total(self) -> float:
-        """Total seconds across all names."""
-        return float(sum(sum(v) for v in self.samples.values()))
-
-    @contextmanager
-    def measure(self, name: str) -> Iterator[None]:
-        """Context manager recording the wall time of its body under *name*."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.record(name, time.perf_counter() - start)
 
 
 @contextmanager

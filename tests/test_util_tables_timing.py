@@ -10,7 +10,7 @@ from repro.util.tables import (
     format_series_table,
     format_table,
 )
-from repro.util.timing import Stopwatch, TimingRecorder, timed
+from repro.util.timing import Stopwatch, timed
 
 
 class TestFormatTable:
@@ -112,30 +112,6 @@ class TestStopwatch:
         assert sw.running
         sw.stop()
         assert not sw.running
-
-
-class TestTimingRecorder:
-    def test_record_and_total(self):
-        rec = TimingRecorder()
-        rec.record("phase", 1.0)
-        rec.record("phase", 2.0)
-        assert rec.total("phase") == 3.0
-        assert rec.count("phase") == 2
-
-    def test_unknown_name_totals_zero(self):
-        assert TimingRecorder().total("missing") == 0.0
-
-    def test_grand_total(self):
-        rec = TimingRecorder()
-        rec.record("a", 1.0)
-        rec.record("b", 2.0)
-        assert rec.grand_total() == 3.0
-
-    def test_measure_context_manager(self):
-        rec = TimingRecorder()
-        with rec.measure("body"):
-            time.sleep(0.005)
-        assert rec.total("body") >= 0.004
 
 
 class TestTimedContext:
