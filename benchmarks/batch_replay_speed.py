@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Benchmark: batch-of-simulations replay vs per-repeat fast runs, in sims/sec.
+
+Times R repeats of one static condition — each repeat with its own workload,
+cluster and RNG streams, exactly the shape of a figure/campaign repeat block —
+two ways: per repeat through the fast backend (``sim.run()`` in a loop, the
+pre-batching baseline) and as one :func:`repro.sim.batch.run_batched_replay`
+call laying the R lanes out as a structure-of-arrays batch.  Before any
+timing it asserts the two paths are *bit-identical* on the full execution
+trace and every headline metric — batching is only a win because it changes
+nothing.
+
+Timed sections cover the simulation only: lane construction (workload +
+cluster + scheduler + simulation objects) happens outside the clock and is
+measured separately, so the ``setup`` numbers in the detail blob show what
+share of a cell's wall-clock the vectorised TaskSet/workload construction
+(amortised once per condition) removed from the simulation path.
+
+Lane widths R ∈ {8, 32, 128} are timed at each scale; ``paper`` is the
+publication's 10,000-task, 50-processor shape.  Writes a schema-v2 BENCH
+record (default target is the committed one)::
+
+    PYTHONPATH=src python benchmarks/batch_replay_speed.py \
+        --scale all --output benchmarks/BENCH_batch_replay.json
+
+Regression gating happens centrally via ``repro scorecard check``: the
+paper-scale R=32 ``batch_speedup`` row carries the hard 2x floor the
+batched-replay work targets; narrower widths are informational (R=8 is
+expected to hover near 1x — the batch only pulls ahead once the lane
+dimension amortises the per-wave bookkeeping).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from _shared import bench_row, write_bench_record
+from repro.cluster.topology import heterogeneous_cluster
+from repro.schedulers.registry import make_scheduler
+from repro.sim.batch import run_batched_replay
+from repro.sim.simulation import DistributedSystemSimulation, SimulationConfig
+from repro.workloads.generator import generate_workload
+from repro.workloads.suites import workload_by_name
+
+DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_batch_replay.json")
+#: Minimum batch/fast speedup at paper scale with R=32 lanes.
+PAPER_R32_FLOOR = 2.0
+#: Lane widths timed at every scale.
+LANE_WIDTHS = (8, 32, 128)
+
+
+@dataclass(frozen=True)
+class BatchScale:
+    """One benchmark problem size (a single repeat's shape)."""
+
+    name: str
+    n_tasks: int
+    n_processors: int
+    mean_comm_cost: float
+
+
+SCALES: Dict[str, BatchScale] = {
+    "smoke": BatchScale(name="smoke", n_tasks=600, n_processors=10, mean_comm_cost=5.0),
+    "paper": BatchScale(
+        name="paper", n_tasks=10000, n_processors=50, mean_comm_cost=5.0
+    ),
+}
+
+
+def build_lanes(scale: BatchScale, lanes: int, backend: str, seed: int):
+    """R freshly constructed simulations, each with its own repeat streams."""
+    sims = []
+    for lane in range(lanes):
+        lane_seed = seed + 1000 * lane
+        tasks = generate_workload(
+            workload_by_name("normal", scale.n_tasks),
+            np.random.default_rng(lane_seed),
+        )
+        cluster = heterogeneous_cluster(
+            scale.n_processors,
+            mean_comm_cost=scale.mean_comm_cost,
+            rng=np.random.default_rng(lane_seed + 1),
+        )
+        scheduler = make_scheduler(
+            "EF", n_processors=scale.n_processors, rng=lane_seed + 2
+        )
+        sims.append(
+            DistributedSystemSimulation(
+                scheduler,
+                cluster,
+                tasks,
+                config=SimulationConfig(sim_backend=backend),
+                rng=lane_seed + 3,
+            )
+        )
+    return sims
+
+
+def result_digest(result) -> str:
+    """Digest of every trace-visible number (for the parity check)."""
+    h = hashlib.sha256()
+    trace = result.trace
+    for name in (
+        "task_id",
+        "proc_id",
+        "size_mflops",
+        "arrival_time",
+        "assigned_time",
+        "dispatch_time",
+        "exec_start",
+        "exec_end",
+    ):
+        h.update(trace.column(name).tobytes())
+    h.update(repr((result.makespan, result.efficiency)).encode())
+    h.update(repr(result.metrics.mean_response_time).encode())
+    h.update(repr(result.scheduler_invocations).encode())
+    h.update(repr(result.events_processed).encode())
+    return h.hexdigest()
+
+
+def assert_batch_parity(scale: BatchScale, seed: int, lanes: int = 8) -> None:
+    """Fail loudly if the batched replay ever diverges from per-repeat runs."""
+    fast = [sim.run() for sim in build_lanes(scale, lanes, "fast", seed)]
+    batched = run_batched_replay(build_lanes(scale, lanes, "batch", seed))
+    for lane, (fast_result, batch_result) in enumerate(zip(fast, batched)):
+        if result_digest(fast_result) != result_digest(batch_result):
+            raise SystemExit(
+                f"batch parity violated on scale={scale.name} lane={lane}: "
+                "batched and per-repeat fast results differ"
+            )
+
+
+def measure_width(scale: BatchScale, lanes: int, seed: int, repeats: int):
+    """Best-of-*repeats* sims/sec for both paths at one lane width."""
+    best = {"fast": float("inf"), "batch": float("inf")}
+    setup_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fast_sims = build_lanes(scale, lanes, "fast", seed)
+        setup_seconds = min(setup_seconds, time.perf_counter() - start)
+        start = time.perf_counter()
+        for sim in fast_sims:
+            sim.run()
+        best["fast"] = min(best["fast"], time.perf_counter() - start)
+
+        batch_sims = build_lanes(scale, lanes, "batch", seed)
+        start = time.perf_counter()
+        run_batched_replay(batch_sims)
+        best["batch"] = min(best["batch"], time.perf_counter() - start)
+    return {
+        "lanes": lanes,
+        "sims_per_second": {
+            "fast": round(lanes / best["fast"], 3),
+            "batch": round(lanes / best["batch"], 3),
+        },
+        "speedup": round(best["fast"] / best["batch"], 3),
+        # Lane construction happens once per condition and is outside both
+        # timed sections; its share of the old per-repeat cell wall-clock
+        # documents what the amortised (vectorised) setup removed.
+        "setup_seconds": round(setup_seconds, 4),
+        "setup_share_of_fast_cell": round(
+            setup_seconds / (setup_seconds + best["fast"]), 4
+        ),
+    }
+
+
+def measure_scale(scale: BatchScale, seed: int, repeats: int) -> Dict[str, object]:
+    assert_batch_parity(scale, seed)
+    return {
+        "n_tasks": scale.n_tasks,
+        "n_processors": scale.n_processors,
+        "mean_comm_cost": scale.mean_comm_cost,
+        "scheduler": "EF",
+        "batch_parity": "bit-identical",
+        "widths": {
+            str(lanes): measure_width(scale, lanes, seed, repeats)
+            for lanes in LANE_WIDTHS
+        },
+    }
+
+
+def run_record(args: argparse.Namespace) -> int:
+    names = sorted(SCALES) if args.scale == "all" else [args.scale]
+    detail = {name: measure_scale(SCALES[name], args.seed, args.repeats) for name in names}
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        for lanes in LANE_WIDTHS:
+            data = detail[name]["widths"][str(lanes)]
+            floor = PAPER_R32_FLOOR if (name == "paper" and lanes == 32) else None
+            rows.append(
+                bench_row(
+                    "batch_speedup",
+                    data["speedup"],
+                    "x",
+                    scale=f"{name}-r{lanes}",
+                    floor=floor,
+                )
+            )
+        rows.append(
+            bench_row(
+                "batch_sims_per_second",
+                detail[name]["widths"]["32"]["sims_per_second"]["batch"],
+                "sims/s",
+                scale=f"{name}-r32",
+            )
+        )
+    write_bench_record(
+        "batch_replay_speed",
+        rows,
+        output=args.output,
+        config={"seed": args.seed, "repeats": args.repeats},
+        detail=detail,
+    )
+    return 0
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        default="all",
+        choices=[*sorted(SCALES), "all"],
+        help="benchmark size to run (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="master random seed")
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats; the best is kept"
+    )
+    parser.add_argument("--output", default=None, help="write the BENCH json here")
+    return parser.parse_args()
+
+
+def main() -> int:
+    return run_record(parse_args())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,7 +96,10 @@ class CampaignSpec:
     ga_backend, sim_backend, policy_backend:
         Optional backend overrides applied to the scale.  Part of every
         cell's cache key: results from different backends are stored — and
-        proven bit-identical — separately.
+        proven bit-identical — separately.  Exception: the ``batch`` sim
+        backend canonicalises to ``fast`` in cache keys (it is bit-identical
+        per cell and only regroups repeats into executor jobs), so campaigns
+        resume warm across that switch.
     """
 
     name: str

@@ -55,6 +55,7 @@ from ..util.errors import ConfigurationError
 __all__ = [
     "CODE_CONTRACT_VERSION",
     "FINGERPRINT_EXCLUDED_FIELDS",
+    "FINGERPRINT_CANONICAL_VALUES",
     "fingerprint",
     "cache_key",
     "ResultStore",
@@ -77,6 +78,16 @@ FINGERPRINT_EXCLUDED_FIELDS: Dict[str, frozenset] = {
     # count; the path a replayed file happens to live at must not split the
     # cache.
     "TraceSpec": frozenset({"path"}),
+}
+
+#: Field values canonicalised before hashing, per class name.  The ``batch``
+#: sim backend is bit-identical to ``fast`` per cell (it only changes how
+#: repeats are grouped into executor jobs), so both spellings must address
+#: the same stored record — a campaign started under one backend resumes
+#: warm under the other.
+FINGERPRINT_CANONICAL_VALUES: Dict[str, Dict[str, Dict[object, object]]] = {
+    "ExperimentScale": {"sim_backend": {"batch": "fast"}},
+    "SimulationConfig": {"sim_backend": {"batch": "fast"}},
 }
 
 #: Types that must never silently enter a cache key.
@@ -121,12 +132,18 @@ def fingerprint(obj: object) -> object:
     if callable(obj) and not hasattr(obj, "__dict__"):
         raise ConfigurationError(f"cannot fingerprint callable {obj!r}")
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        excluded = FINGERPRINT_EXCLUDED_FIELDS.get(type(obj).__name__, frozenset())
+        cls_name = type(obj).__name__
+        excluded = FINGERPRINT_EXCLUDED_FIELDS.get(cls_name, frozenset())
+        canonical = FINGERPRINT_CANONICAL_VALUES.get(cls_name, {})
         entry: Dict[str, object] = {"__type__": _qualname(obj)}
         for field in sorted(dataclasses.fields(obj), key=lambda f: f.name):
             if field.name in excluded:
                 continue
-            entry[field.name] = fingerprint(getattr(obj, field.name))
+            value = getattr(obj, field.name)
+            mapping = canonical.get(field.name)
+            if mapping is not None:
+                value = mapping.get(value, value)
+            entry[field.name] = fingerprint(value)
         return entry
     if callable(obj):
         raise ConfigurationError(

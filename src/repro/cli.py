@@ -514,8 +514,11 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         help=(
             "simulation core: 'fast' replays static simulations through the "
             "batched static-replay backend (default), 'event' always pumps "
-            "the discrete-event engine; results are bit-identical either "
-            "way (see repro.sim.fastpath)"
+            "the discrete-event engine, 'batch' replays whole repeat blocks "
+            "as one structure-of-arrays simulation (falling back to "
+            "fast/event per run when batching cannot engage); results are "
+            "bit-identical in all cases (see repro.sim.fastpath and "
+            "repro.sim.batch)"
         ),
     )
     parser.add_argument(

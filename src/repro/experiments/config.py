@@ -72,9 +72,12 @@ class ExperimentScale:
         :mod:`repro.ga.kernels`; CLI ``--ga-backend`` overrides it.
     sim_backend:
         Simulation core of every simulated schedule (``"fast"`` — the
-        batched static-replay backend, the default — or ``"event"`` — the
-        discrete-event engine).  Both produce bit-identical results; see
-        :mod:`repro.sim.fastpath`.  CLI ``--sim-backend`` overrides it.
+        batched static-replay backend, the default — ``"event"`` — the
+        discrete-event engine — or ``"batch"`` — structure-of-arrays
+        replay of whole repeat blocks, falling back to ``fast``/``event``
+        per simulation when batching cannot engage).  All three produce
+        bit-identical results; see :mod:`repro.sim.fastpath` and
+        :mod:`repro.sim.batch`.  CLI ``--sim-backend`` overrides it.
     policy_backend:
         Policy-kernel backend of the heuristic schedulers
         (``"vectorized"`` — dense-array kernels plus the batched

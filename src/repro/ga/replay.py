@@ -1,0 +1,167 @@
+"""Simulated fitness: score a GA population by batched replay.
+
+The GA's analytic fitness (:mod:`repro.ga.fitness`) estimates completion
+times from the master's smoothed rate/communication estimates — fast, but an
+*estimate*.  This module scores candidate schedules by actually *running*
+them: each assignment vector becomes a :class:`FixedAssignmentScheduler`
+lane, and the whole population is executed as one
+:func:`~repro.sim.batch.run_batched_replay` pass over a shared cluster and
+workload (the arrays are stacked once; the cluster/task structures are never
+copied per individual).
+
+The replay fitness is deliberately an opt-in companion API —
+:func:`repro.ga.fitness.evaluate_assignments` keeps driving selection with
+the paper's analytic score, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..schedulers.base import ImmediateScheduler, SchedulingContext
+from ..sim.batch import register_stacked_wave, run_batched_replay
+from ..sim.simulation import DistributedSystemSimulation, SimulationConfig
+from ..util.errors import ConfigurationError, SchedulingError
+from ..util.rng import RNGLike, ensure_rng, spawn_rngs
+from ..workloads.task import Task, TaskSet
+
+__all__ = ["FixedAssignmentScheduler", "ReplayFitnessResult", "evaluate_population_replay"]
+
+
+class FixedAssignmentScheduler(ImmediateScheduler):
+    """Replay a precomputed task→processor assignment, one task per arrival.
+
+    Gene ``i`` of the assignment vector places the ``i``-th task handed to
+    the scheduler (FCFS submission order), exactly as a GA chromosome maps
+    batch position to processor.  The policy is position-based, so
+    :meth:`reset` rewinds to the first gene.
+    """
+
+    name = "FIX"
+
+    def __init__(self, assignment: Sequence[int]):
+        self._procs = np.ascontiguousarray(assignment, dtype=np.int64)
+        if self._procs.ndim != 1:
+            raise ConfigurationError("assignment must be a 1-D processor vector")
+        self._i = 0
+
+    def select_processor(self, task: Task, ctx: SchedulingContext) -> int:
+        if self._i >= self._procs.shape[0]:
+            raise SchedulingError(
+                f"FIX: assignment vector exhausted after {self._procs.shape[0]} tasks"
+            )
+        proc = int(self._procs[self._i])
+        self._i += 1
+        return proc
+
+    def select_processors_wave(self, sizes: np.ndarray, ctx: SchedulingContext):
+        k = sizes.shape[0]
+        if self._i + k > self._procs.shape[0]:
+            raise SchedulingError(
+                f"FIX: assignment vector exhausted after {self._procs.shape[0]} tasks"
+            )
+        procs = self._procs[self._i : self._i + k]
+        np.add.at(ctx.pending_loads, procs, sizes)
+        self._i += k
+        return procs
+
+    def reset(self) -> None:
+        self._i = 0
+
+
+def _fix_wave(schedulers, sizes, loads, rates):
+    R, n = sizes.shape
+    procs = np.empty((R, n), dtype=np.int64)
+    for r, scheduler in enumerate(schedulers):
+        if scheduler._i + n > scheduler._procs.shape[0]:
+            raise SchedulingError(
+                f"FIX: assignment vector exhausted after {scheduler._procs.shape[0]} tasks"
+            )
+        procs[r] = scheduler._procs[scheduler._i : scheduler._i + n]
+        scheduler._i += n
+    rows = np.repeat(np.arange(R), n)
+    # Same element-order accumulation as the per-lane wave's np.add.at.
+    np.add.at(loads, (rows, procs.ravel()), sizes.ravel())
+    return procs
+
+
+register_stacked_wave(FixedAssignmentScheduler, _fix_wave)
+
+
+@dataclass(frozen=True)
+class ReplayFitnessResult:
+    """Simulated scores of a population, one batched replay per call.
+
+    Attributes
+    ----------
+    makespans:
+        Simulated makespan per individual, shape ``(P,)``.
+    efficiencies:
+        Simulated cluster efficiency per individual, shape ``(P,)``.
+    mean_response_times:
+        Simulated mean task response time per individual, shape ``(P,)``.
+    results:
+        The full per-individual simulation results, in population order.
+    """
+
+    makespans: np.ndarray
+    efficiencies: np.ndarray
+    mean_response_times: np.ndarray
+    results: List
+
+    @property
+    def best_index(self) -> int:
+        """Index of the individual with the lowest simulated makespan."""
+        return int(np.argmin(self.makespans))
+
+
+def evaluate_population_replay(
+    assignments: np.ndarray,
+    cluster: Cluster,
+    tasks: TaskSet,
+    *,
+    config: Optional[SimulationConfig] = None,
+    rng: RNGLike = None,
+) -> ReplayFitnessResult:
+    """Simulate every assignment vector of a population as one batched replay.
+
+    ``assignments`` is the GA's ``(P, H)`` matrix: row ``p`` maps the ``i``-th
+    task of *tasks* (submission order) to a processor.  Cluster and workload
+    are shared read-only across all lanes; each lane gets its own child RNG
+    stream (per-lane network draws), spawned deterministically from *rng*.
+    """
+    assignments = np.atleast_2d(np.asarray(assignments, dtype=np.int64))
+    pop, h = assignments.shape
+    if h != len(tasks):
+        raise ConfigurationError(
+            f"assignments have {h} genes but the workload has {len(tasks)} tasks"
+        )
+    m = cluster.n_processors
+    if assignments.size and (assignments.min() < 0 or assignments.max() >= m):
+        raise ConfigurationError("assignment matrix references an invalid processor index")
+    if config is None:
+        config = SimulationConfig(sim_backend="batch")
+    lane_rngs = spawn_rngs(ensure_rng(rng), pop)
+    sims = [
+        DistributedSystemSimulation(
+            FixedAssignmentScheduler(assignments[p]),
+            cluster,
+            tasks,
+            config=config,
+            rng=lane_rngs[p],
+        )
+        for p in range(pop)
+    ]
+    results = run_batched_replay(sims)
+    return ReplayFitnessResult(
+        makespans=np.array([res.makespan for res in results], dtype=float),
+        efficiencies=np.array([res.efficiency for res in results], dtype=float),
+        mean_response_times=np.array(
+            [res.metrics.mean_response_time for res in results], dtype=float
+        ),
+        results=results,
+    )

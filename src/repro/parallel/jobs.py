@@ -41,7 +41,9 @@ from ..workloads.generator import WorkloadSpec, generate_workload
 __all__ = [
     "ComparisonRepeatJob",
     "ComparisonRepeatOutcome",
+    "ComparisonBlockJob",
     "run_comparison_repeat",
+    "run_comparison_block",
     "GARunJob",
     "GARunOutcome",
     "run_ga_job",
@@ -140,6 +142,90 @@ def run_comparison_repeat(job: ComparisonRepeatJob) -> ComparisonRepeatOutcome:
             float(result.scheduler_invocations),
         )
     return ComparisonRepeatOutcome(metrics=metrics)
+
+
+# ---------------------------------------------------------------------------
+# Batched repeat blocks (the ``batch`` sim backend's repeat-axis unit)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ComparisonBlockJob:
+    """A block of comparison repeats executed as one batched-replay job.
+
+    One executor job computes a whole lane block: per scheduler name, the
+    block's repeats run as a single structure-of-arrays replay
+    (:func:`repro.sim.batch.run_batched_replay`).  Each repeat keeps its
+    private ``SeedSequence`` and its four child streams, consumed in the
+    sequential order, so the per-repeat outcomes are bit-identical to
+    running :func:`run_comparison_repeat` on each member job alone.
+    """
+
+    jobs: Tuple[ComparisonRepeatJob, ...]
+
+
+def run_comparison_block(block: ComparisonBlockJob) -> Tuple[ComparisonRepeatOutcome, ...]:
+    """Run a block of comparison repeats as per-scheduler batched replays."""
+    from ..sim.batch import run_batched_replay
+    from ..sim.simulation import DistributedSystemSimulation
+
+    if not block.jobs:
+        return ()
+    names = block.jobs[0].scheduler_names
+    # Per-repeat setup happens once per block member and is reused across
+    # every scheduler's lane (workload columns are cached on the TaskSet, so
+    # each lane's replay stacks them without re-extracting).  Scheduler seeds
+    # are drawn up front in name order — the sequential path's exact
+    # consumption of the repeat's scheduler stream.
+    conditions = []
+    for job in block.jobs:
+        if job.scheduler_names != names:
+            raise ValueError("all jobs in a comparison block must share scheduler_names")
+        seed_seq = np.random.SeedSequence(job.seed_entropy)
+        workload_rng, cluster_rng, sim_seed_rng, sched_seed_rng = (
+            np.random.default_rng(child) for child in seed_seq.spawn(4)
+        )
+        tasks = generate_workload(job.workload_spec, workload_rng)
+        if job.cluster_factory is not None:
+            cluster = job.cluster_factory(cluster_rng)
+        else:
+            cluster = heterogeneous_cluster(
+                job.n_processors,
+                mean_comm_cost=job.mean_comm_cost,
+                rng=cluster_rng,
+            )
+        sim_seed = int(sim_seed_rng.integers(0, 2**31 - 1))
+        sched_seeds = [int(sched_seed_rng.integers(0, 2**31 - 1)) for _ in names]
+        conditions.append((job, tasks, cluster, sim_seed, sched_seeds))
+
+    metrics: list = [dict() for _ in block.jobs]
+    for k, name in enumerate(names):
+        sims = []
+        for job, tasks, cluster, sim_seed, sched_seeds in conditions:
+            scheduler = make_scheduler(
+                name,
+                n_processors=cluster.n_processors,
+                batch_size=job.batch_size,
+                max_generations=job.max_generations,
+                ga_backend=job.ga_backend,
+                rng=sched_seeds[k],
+            )
+            sims.append(
+                DistributedSystemSimulation(
+                    scheduler,
+                    cluster,
+                    tasks,
+                    config=job.sim_config,
+                    rng=sim_seed,
+                )
+            )
+        for r, result in enumerate(run_batched_replay(sims)):
+            metrics[r][name] = (
+                float(result.makespan),
+                float(result.efficiency),
+                float(result.metrics.mean_response_time),
+                float(result.scheduler_invocations),
+            )
+    return tuple(ComparisonRepeatOutcome(metrics=m) for m in metrics)
 
 
 # ---------------------------------------------------------------------------

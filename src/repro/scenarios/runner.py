@@ -45,13 +45,16 @@ logger = logging.getLogger("repro.scenarios")
 
 __all__ = [
     "ScenarioCell",
+    "ScenarioCellBlock",
     "ScenarioCellOutcome",
     "cell_workload",
     "run_scenario_cell",
+    "run_scenario_cell_block",
     "ScenarioAggregate",
     "ScenarioMatrixResult",
     "aggregate_scenario_outcomes",
     "build_scenario_cells",
+    "build_scenario_cell_blocks",
     "resolve_scenario_specs",
     "run_scenario_matrix",
 ]
@@ -146,7 +149,13 @@ def run_scenario_cell(cell: ScenarioCell) -> ScenarioCellOutcome:
         return _run_scenario_cell_impl(cell)
 
 
-def _run_scenario_cell_impl(cell: ScenarioCell) -> ScenarioCellOutcome:
+def _cell_setup(cell: ScenarioCell):
+    """Build one cell's (tasks, cluster, scheduler, dynamics, sim seed).
+
+    The single source of the cell's stream layout: both the per-cell runner
+    and the batched block runner derive their simulations through it, so a
+    cell's randomness never depends on which runner computed it.
+    """
     seed_seq = np.random.SeedSequence(cell.seed_entropy)
     workload_rng, cluster_rng, sim_seed_rng, sched_seed_rng = (
         np.random.default_rng(child) for child in seed_seq.spawn(4)
@@ -162,17 +171,29 @@ def _run_scenario_cell_impl(cell: ScenarioCell) -> ScenarioCellOutcome:
         ga_backend=cell.ga_backend,
         rng=int(sched_seed_rng.integers(0, 2**31 - 1)),
     )
+    sim_seed = int(sim_seed_rng.integers(0, 2**31 - 1))
+    return tasks, cluster, scheduler, DynamicsTimeline(spec.dynamics), sim_seed
+
+
+def _run_scenario_cell_impl(cell: ScenarioCell) -> ScenarioCellOutcome:
+    tasks, cluster, scheduler, dynamics, sim_seed = _cell_setup(cell)
     start = time.perf_counter()
     result = simulate_schedule(
         scheduler,
         cluster,
         tasks,
         config=cell.sim_config,
-        dynamics=DynamicsTimeline(spec.dynamics),
-        rng=int(sim_seed_rng.integers(0, 2**31 - 1)),
+        dynamics=dynamics,
+        rng=sim_seed,
     )
     wall_clock = time.perf_counter() - start
+    return _cell_outcome(cell, tasks, result, wall_clock)
 
+
+def _cell_outcome(
+    cell: ScenarioCell, tasks, result, wall_clock: float
+) -> ScenarioCellOutcome:
+    spec = cell.spec
     completed_ids = result.trace.task_ids().tolist()
     expected = len(tasks) + result.tasks_injected
     conservation_ok = (
@@ -208,6 +229,87 @@ def _run_scenario_cell_impl(cell: ScenarioCell) -> ScenarioCellOutcome:
         dispatch_seconds=float(result.phase_seconds.get("dispatch", 0.0)),
         drain_seconds=float(result.phase_seconds.get("drain", 0.0)),
     )
+
+
+@dataclass(frozen=True)
+class ScenarioCellBlock:
+    """A block of matrix cells executed as one batched replay.
+
+    All cells of a block share one (scenario, scheduler) pair; their repeats
+    become the lanes of a single :func:`repro.sim.batch.run_batched_replay`
+    call.  Each cell keeps its private seed entropy and outcome, so block
+    execution is invisible to caching, resume and determinism signatures.
+    """
+
+    cells: Tuple[ScenarioCell, ...]
+
+
+def run_scenario_cell_block(block: ScenarioCellBlock) -> Tuple[ScenarioCellOutcome, ...]:
+    """Simulate a block of same-condition cells as one batched replay.
+
+    Per-cell randomness is derived exactly as :func:`run_scenario_cell`
+    derives it; cells that cannot join the batched tier (dynamic scenarios,
+    GA schedulers) fall back per lane inside the batch engine.  The block's
+    simulation wall-clock is split evenly across its cells (the timing
+    fields are machine-dependent and excluded from outcome equality).
+    """
+    from ..sim.batch import run_batched_replay
+    from ..sim.simulation import DistributedSystemSimulation
+
+    if not block.cells:
+        return ()
+    with span(
+        f"scenario:{block.cells[0].spec.name}/{block.cells[0].scheduler}/block",
+        scenario=block.cells[0].spec.name,
+        scheduler=block.cells[0].scheduler,
+        repeats=len(block.cells),
+    ):
+        lanes = []
+        for cell in block.cells:
+            tasks, cluster, scheduler, dynamics, sim_seed = _cell_setup(cell)
+            sim = DistributedSystemSimulation(
+                scheduler,
+                cluster,
+                tasks,
+                config=cell.sim_config,
+                dynamics=dynamics,
+                rng=sim_seed,
+            )
+            lanes.append((cell, tasks, sim))
+        start = time.perf_counter()
+        results = run_batched_replay([sim for _, _, sim in lanes])
+        per_cell_clock = (time.perf_counter() - start) / len(block.cells)
+        return tuple(
+            _cell_outcome(cell, tasks, result, per_cell_clock)
+            for (cell, tasks, _), result in zip(lanes, results)
+        )
+
+
+def build_scenario_cell_blocks(
+    cells: Sequence[ScenarioCell], lane_width: Optional[int] = None
+) -> List[ScenarioCellBlock]:
+    """Group consecutive same-(scenario, scheduler) cells into lane blocks.
+
+    Cells arrive in the matrix's nested (scenario, scheduler, repeat) order,
+    so grouping consecutive runs keeps every block homogeneous and preserves
+    cell order across the flattened block outcomes.
+    """
+    from ..sim.batch import BATCH_LANE_WIDTH
+
+    width = lane_width if lane_width is not None else BATCH_LANE_WIDTH
+    blocks: List[ScenarioCellBlock] = []
+    run: List[ScenarioCell] = []
+    for cell in cells:
+        if run and (
+            (cell.spec.name, cell.scheduler) != (run[0].spec.name, run[0].scheduler)
+            or len(run) >= width
+        ):
+            blocks.append(ScenarioCellBlock(cells=tuple(run)))
+            run = []
+        run.append(cell)
+    if run:
+        blocks.append(ScenarioCellBlock(cells=tuple(run)))
+    return blocks
 
 
 @dataclass(frozen=True)
@@ -519,7 +621,19 @@ def run_scenario_matrix(
     ):
         # Stream rather than map so progress is reported as cells land —
         # aggregation still folds the full list in submission order below.
-        for outcome in executor.imap(run_scenario_cell, cells):
+        # Under the batch backend a (scenario, scheduler) group's repeats run
+        # as one lane block per executor job; the flattened outcomes keep
+        # exact cell order, so aggregation is unchanged.
+        if sim_config.sim_backend == "batch":
+            blocks = build_scenario_cell_blocks(cells)
+            stream = (
+                outcome
+                for block_outcomes in executor.imap(run_scenario_cell_block, blocks)
+                for outcome in block_outcomes
+            )
+        else:
+            stream = executor.imap(run_scenario_cell, cells)
+        for outcome in stream:
             outcomes.append(outcome)
             elapsed = time.perf_counter() - start
             rate = len(outcomes) / elapsed if elapsed > 0 else 0.0

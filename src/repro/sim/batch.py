@@ -1,0 +1,516 @@
+"""Repeat-axis batched replay: the ``batch`` simulation backend.
+
+:func:`run_batched_replay` executes R freshly constructed *static*
+simulations — typically the repeats of one figure/scenario condition, which
+share cluster and workload structure and differ only in their
+``SeedSequence`` child streams — as **one structure-of-arrays pass** over
+the :mod:`repro.sim.fastpath` merge loop.  Every per-worker scalar of the
+fast path becomes an ``(R, W)`` array with a leading repeat-lane dimension:
+one stacked wave call places all lanes' arrival waves, one lockstep drain
+loop advances every lane's completion heap by exactly one pop per
+iteration, and per-worker aggregates (busy/comm seconds, completion counts,
+pending loads) are folded out of the dense trace arrays afterwards.
+
+**Bit-identity contract.**  Every lane's result-visible state — trace
+columns, metrics, queue trajectory, worker bookkeeping, master counters and
+pending loads, ``events_processed`` — is byte-identical to running
+:func:`~repro.sim.fastpath.run_static_replay` on that lane alone (which is
+itself gated bit-identical to the event engine).  The guarantees stack:
+
+* **Wave placement.**  The lane-stacked policy kernels repeat the
+  vectorized backend's exact per-task float operations elementwise per row
+  (``np.add``/``np.divide`` with broadcasting are IEEE-identical to the 1-D
+  buffered expressions; a row-wise ``argmin`` keeps the same
+  first-minimiser tie-break), so each lane's placements and evolving loads
+  match its own wave invocation bit for bit.
+* **Per-lane RNG streams, consumed draw-for-draw.**
+  ``Generator.standard_normal(k)`` fills its output exactly as k sequential
+  scalar draws would, so each lane's communication draws come from one bulk
+  block on its private network stream and are handed out in the engine's
+  dispatch order: initial fetches in ascending processor order, then one
+  draw per refill in global completion order, tracked by a per-lane
+  position pointer.  Zero-mean links never draw; zero-variance links
+  consume a draw whose value is exactly the mean — both uniformly via the
+  ``clamp(mean + std * z)`` form, which is bit-identical in every plan
+  kind.
+* **Event order.**  The drain pops each lane's next completion by the
+  engine's exact ``(time, seq)`` discipline: an equality-masked integer
+  argmin over per-worker sequence numbers reproduces heap tie-breaks, and
+  the per-lane sequence counter advances exactly as the fast path's
+  (arrivals 0..n-1, one invoke, one fetch per initial dispatch, then
+  fetch/completion pairs).
+
+As in the fast path, internal estimator state intentionally diverges: the
+master's smoothed rate/comm estimators, its ``_assigned_time`` map and the
+unscheduled deque round-trip are skipped because no scheduling decision can
+ever read them again on an all-at-once static run (the single wave at t=0
+consumes every task).  No result can observe the difference.
+
+**Eligibility and fallback.**  A lane joins the batched tier only when it
+is static, horizon-free, all tasks arrive at exactly t=0, the scheduler is
+a registered stackable immediate policy (EF/LL/RR/MET/OLB by default; see
+:func:`register_stacked_wave`) under the vectorized policy backend, every
+communication plan is constant-condition and every execution rate is a
+positive constant, and the event budget provably covers the whole run.
+Every other lane — dynamic timelines, batch/GA schedulers, the loop policy
+backend, time-varying links or rates — falls back to its own
+:func:`run_static_replay` (or the event engine), so
+:func:`run_batched_replay` accepts any mix of lanes and always returns
+bit-identical per-lane results in input order.
+
+Telemetry: the whole call is wrapped in one ``sim:batch`` span carrying a
+``repeats`` attribute, a ``sim.batch_lanes`` counter and a
+``sim.batch_lane_width`` histogram.  Instrumentation never touches an RNG
+stream, and with no active session the overhead is a single module-global
+read.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Type
+
+import numpy as np
+
+from ..schedulers.base import Scheduler
+from ..schedulers.earliest_first import EarliestFirstScheduler
+from ..schedulers.extended import (
+    MinimumExecutionTimeScheduler,
+    OpportunisticLoadBalancingScheduler,
+)
+from ..schedulers.lightest_loaded import LightestLoadedScheduler
+from ..schedulers.round_robin import RoundRobinScheduler
+from ..telemetry import get_session
+from ..util.errors import SimulationError
+from .fastpath import _NEVER_DRAWS, _DRAWS_NORMAL, _comm_plans, _const_rates, run_static_replay
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulation import DistributedSystemSimulation, SimulationResult
+
+__all__ = ["BATCH_LANE_WIDTH", "register_stacked_wave", "run_batched_replay"]
+
+#: Default number of repeat lanes per batched executor job.  Wide enough to
+#: amortise the lockstep drain's per-iteration array overhead, small enough
+#: that call sites still shard work across executor processes.
+BATCH_LANE_WIDTH = 32
+
+#: Sequence sentinel for idle workers: above any reachable event sequence.
+_BIG_SEQ = np.int64(2**62)
+
+
+# ---------------------------------------------------------------------------
+# Lane-stacked wave kernels
+# ---------------------------------------------------------------------------
+# Each kernel repeats the vectorized policy backend's per-task arithmetic
+# elementwise over the leading lane axis: ``sizes`` is (R, n), ``loads`` and
+# ``rates`` are (R, W) with ``loads`` evolving in place to the post-wave
+# pending loads (the master accumulates per task in the same order, so the
+# final array doubles as the stacked ``Master.pending_loads``).  Returns the
+# (R, n) int64 placement matrix.
+
+def _ef_wave(schedulers, sizes, loads, rates):
+    R, n = sizes.shape
+    rows = np.arange(R)
+    buf = np.empty_like(loads)
+    procs = np.empty((R, n), dtype=np.int64)
+    for k in range(n):
+        np.add(loads, sizes[:, k : k + 1], out=buf)
+        np.divide(buf, rates, out=buf)
+        sel = buf.argmin(axis=1)
+        procs[:, k] = sel
+        loads[rows, sel] += sizes[:, k]
+    return procs
+
+
+def _ll_wave(schedulers, sizes, loads, rates):
+    R, n = sizes.shape
+    rows = np.arange(R)
+    procs = np.empty((R, n), dtype=np.int64)
+    for k in range(n):
+        sel = loads.argmin(axis=1)
+        procs[:, k] = sel
+        loads[rows, sel] += sizes[:, k]
+    return procs
+
+
+def _olb_wave(schedulers, sizes, loads, rates):
+    R, n = sizes.shape
+    rows = np.arange(R)
+    buf = np.empty_like(loads)
+    procs = np.empty((R, n), dtype=np.int64)
+    for k in range(n):
+        np.divide(loads, rates, out=buf)
+        sel = buf.argmin(axis=1)
+        procs[:, k] = sel
+        loads[rows, sel] += sizes[:, k]
+    return procs
+
+
+def _met_wave(schedulers, sizes, loads, rates):
+    # MET decisions are load-independent; only the accumulation must stay in
+    # per-lane task order (one scatter-add per task position).
+    R, n = sizes.shape
+    rows = np.arange(R)
+    buf = np.empty_like(loads)
+    procs = np.empty((R, n), dtype=np.int64)
+    for k in range(n):
+        np.divide(sizes[:, k : k + 1], rates, out=buf)
+        sel = buf.argmin(axis=1)
+        procs[:, k] = sel
+        loads[rows, sel] += sizes[:, k]
+    return procs
+
+
+def _rr_wave(schedulers, sizes, loads, rates):
+    R, n = sizes.shape
+    W = loads.shape[1]
+    nexts = np.array([int(s._next) for s in schedulers], dtype=np.int64)
+    procs = (nexts[:, None] + np.arange(n, dtype=np.int64)) % W
+    rows = np.repeat(np.arange(R), n)
+    # np.add.at applies repeated-index additions in element order: lane-major,
+    # task-ascending within a lane — the per-task accumulation sequence.
+    np.add.at(loads, (rows, procs.ravel()), sizes.ravel())
+    for r, scheduler in enumerate(schedulers):
+        scheduler._next = int((nexts[r] + n) % W)
+    return procs
+
+
+_STACKED_WAVES: Dict[Type[Scheduler], Callable] = {
+    EarliestFirstScheduler: _ef_wave,
+    LightestLoadedScheduler: _ll_wave,
+    OpportunisticLoadBalancingScheduler: _olb_wave,
+    MinimumExecutionTimeScheduler: _met_wave,
+    RoundRobinScheduler: _rr_wave,
+}
+
+
+def register_stacked_wave(scheduler_cls: Type[Scheduler], wave: Callable) -> None:
+    """Register a lane-stacked wave kernel for *scheduler_cls*.
+
+    ``wave(schedulers, sizes, loads, rates) -> procs`` receives the R lane
+    scheduler instances plus (R, n) sizes and (R, W) loads/rates, must
+    mutate ``loads`` in place with the per-task accumulation the scalar wave
+    performs, and returns the (R, n) int64 placements.  Lanes whose
+    scheduler type is exactly *scheduler_cls* (no subclasses — overrides
+    could change decisions) become eligible for the batched tier.
+    """
+    _STACKED_WAVES[scheduler_cls] = wave
+
+
+# ---------------------------------------------------------------------------
+# Eligibility
+# ---------------------------------------------------------------------------
+
+def _plan_lane(sim: "DistributedSystemSimulation"):
+    """The lane's stacked-replay inputs, or ``None`` if it must fall back."""
+    if not sim.uses_fast_path():
+        return None
+    config = sim.config
+    if config.time_horizon is not None:
+        return None
+    if type(sim.scheduler) not in _STACKED_WAVES:
+        return None
+    if not sim.master.policy_kernels.batches_immediate_waves:
+        return None
+    n = len(sim.tasks)
+    n_procs = sim.cluster.n_processors
+    # Conservative event budget: n arrivals + 1 invoke + at most min(n, W)
+    # initial fetches + 2n drain events.  A lane inside this bound can never
+    # trip the storm guard; one outside falls back so the sequential path
+    # raises at the exact event the engine would.
+    if n == 0 or n + 1 + min(n, n_procs) + 2 * n > config.max_events:
+        return None
+    sizes, arrivals, task_ids = sim.tasks.arrays()
+    if np.any(arrivals):
+        return None  # staggered arrivals: multiple waves, not stackable
+    plans = _comm_plans(sim)
+    kinds = np.array([plan[0] for plan in plans], dtype=np.int64)
+    if kinds.max(initial=0) > _DRAWS_NORMAL:
+        return None  # time-varying link condition
+    rates = _const_rates(sim)
+    if any(rate is None or rate <= 0 for rate in rates):
+        return None  # time-varying or degenerate execution rate
+    means = np.array([plan[1] for plan in plans], dtype=float)
+    stds = np.array([plan[2] for plan in plans], dtype=float)
+    return sizes, task_ids, kinds, means, stds, np.array(rates, dtype=float)
+
+
+# ---------------------------------------------------------------------------
+# The batched group replay
+# ---------------------------------------------------------------------------
+
+def _run_group(lanes, n: int, n_procs: int, results: list) -> None:
+    """Replay one group of stackable lanes (same scheduler type, n, W)."""
+    R = len(lanes)
+    W = n_procs
+    rows = np.arange(R)
+    timing = any(sim._phase_timing for _, sim, _ in lanes)
+
+    sizes = np.empty((R, n), dtype=float)
+    tids = np.empty((R, n), dtype=np.int64)
+    loads = np.empty((R, W), dtype=float)
+    rates_ctx = np.empty((R, W), dtype=float)  # scheduling-context rates
+    rateM = np.empty((R, W), dtype=float)  # constant execution rates
+    kindM = np.empty((R, W), dtype=np.int64)
+    meanM = np.empty((R, W), dtype=float)
+    stdM = np.empty((R, W), dtype=float)
+    schedulers = []
+    for r, (_, sim, plan) in enumerate(lanes):
+        lane_sizes, lane_tids, kinds, means, stds, crates = plan
+        sizes[r] = lane_sizes
+        tids[r] = lane_tids
+        loads[r] = sim.master.pending_loads
+        rates_ctx[r] = sim.master._rates_vec
+        rateM[r] = crates
+        kindM[r] = kinds
+        meanM[r] = means
+        stdM[r] = stds
+        sim.scheduler.reset()
+        schedulers.append(sim.scheduler)
+
+    # -- the single t=0 scheduling wave, all lanes stacked ---------------------
+    t_wave0 = perf_counter() if timing else 0.0
+    wave = _STACKED_WAVES[type(schedulers[0])]
+    procs = wave(schedulers, sizes, loads, rates_ctx)  # loads -> post-wave pending
+    t_wave1 = perf_counter() if timing else 0.0
+
+    # -- per-lane queue layout: stable sort by processor keeps FCFS order ------
+    order = np.argsort(procs, axis=1, kind="stable")
+    nQ = n + 1  # one pad slot so next-task gathers never leave the lane
+    q_sizes = np.empty((R, nQ), dtype=float)
+    q_tid = np.empty((R, nQ), dtype=np.int64)
+    q_sizes[:, :n] = np.take_along_axis(sizes, order, axis=1)
+    q_sizes[:, n] = 1.0
+    q_tid[:, :n] = np.take_along_axis(tids, order, axis=1)
+    q_tid[:, n] = 0
+    counts = np.bincount(
+        (procs + (rows * W)[:, None]).ravel(), minlength=R * W
+    ).reshape(R, W)
+    seg_start = np.zeros((R, W), dtype=np.int64)
+    np.cumsum(counts[:, :-1], axis=1, out=seg_start[:, 1:])
+
+    active0 = counts > 0
+    needsM = kindM != _NEVER_DRAWS
+
+    # -- per-lane bulk normal draws (one block per lane's private stream) ------
+    n_draws = (counts * needsM).sum(axis=1)
+    z_width = int(n_draws.max(initial=0)) + 1
+    Z = np.zeros((R, z_width), dtype=float)
+    for r, (_, sim, _) in enumerate(lanes):
+        draws = int(n_draws[r])
+        if draws:
+            Z[r, :draws] = sim._network_rng.standard_normal(draws)
+
+    # -- initial fetches: ascending processor order per lane, all at t=0 -------
+    draw0 = active0 & needsM
+    zpos0 = np.cumsum(draw0, axis=1) - draw0  # exclusive prefix: draw index per proc
+    # One formula for every plan kind: never-draw links have mean = std = 0
+    # (cost clamps to exactly 0.0, the stray z is inert), zero-variance links
+    # get exactly the mean, normal links get the clamped draw.
+    comm0 = meanM + stdM * Z[rows[:, None], zpos0]
+    comm0 = np.where(comm0 > 0.0, comm0, 0.0)
+    comm0 = np.where(active0, comm0, 0.0)
+    size0 = np.take_along_axis(q_sizes, seg_start, axis=1)
+    e = np.where(active0, comm0 + size0 / rateM, np.inf)
+    Wp = active0.sum(axis=1)
+    rank0 = np.cumsum(active0, axis=1) - active0
+    sq = np.where(active0, (n + 1 + Wp)[:, None] + rank0, _BIG_SEQ).astype(np.int64)
+    seqctr = (n + 2 * Wp + 1).astype(np.int64)
+    pos = draw0.sum(axis=1)  # per-lane draw-stream position
+    t_fetch1 = perf_counter() if timing else 0.0
+
+    # -- flat state for the lockstep drain -------------------------------------
+    rowsW = rows * W
+    qbase = (rows * nQ)[:, None]
+    e_f = np.ascontiguousarray(e).ravel()
+    e2 = e_f.reshape(R, W)
+    sq_f = np.ascontiguousarray(sq).ravel()
+    sq2 = sq_f.reshape(R, W)
+    cur_f = (seg_start + qbase).ravel().copy()  # flat q-index of in-flight task
+    nextq_f = (seg_start + qbase + 1).ravel().copy()
+    qend_f = (seg_start + counts + qbase).ravel().copy()
+    disp_f = np.zeros(R * W)
+    start_f = comm0.ravel().copy()  # exec_start of the in-flight task
+    need_f = needsM.ravel().copy()
+    mean_f = meanM.ravel().copy()
+    std_f = stdM.ravel().copy()
+    rate_f = rateM.ravel().copy()
+    q_sizes_f = q_sizes.ravel()
+    q_tid_f = q_tid.ravel()
+    Z_f = Z.ravel()
+    zbase = rows * z_width
+
+    tr_tid = np.empty((n, R), dtype=np.int64)
+    tr_proc = np.empty((n, R), dtype=np.int64)
+    tr_size = np.empty((n, R), dtype=float)
+    tr_disp = np.empty((n, R), dtype=float)
+    tr_start = np.empty((n, R), dtype=float)
+    tr_end = np.empty((n, R), dtype=float)
+    tr_comm = np.empty((n, R), dtype=float)
+
+    # -- lockstep drain: every lane pops exactly one completion per iteration --
+    # (R lanes × n completions each; a lane always has a finite head until its
+    # last pop, so no active-lane masking is needed.)
+    inf = np.inf
+    for i in range(n):
+        m = e2.min(axis=1)
+        cand = np.where(e2 == m[:, None], sq2, _BIG_SEQ)
+        w = cand.argmin(axis=1)  # exact (time, seq) heap discipline per lane
+        fidx = rowsW + w
+        t = e_f[fidx]
+        j = cur_f[fidx]
+        np.take(q_tid_f, j, out=tr_tid[i])
+        np.take(q_sizes_f, j, out=tr_size[i])
+        np.take(disp_f, fidx, out=tr_disp[i])
+        np.take(start_f, fidx, out=tr_start[i])
+        tr_end[i] = t
+        tr_proc[i] = w
+        # The follow-up fetch: dispatch the winner's next queued task, if any.
+        jn = nextq_f[fidx]
+        nxt = jn < qend_f[fidx]
+        needs = need_f[fidx] & nxt  # a draw is consumed only on a real dispatch
+        c = std_f[fidx] * Z_f[zbase + pos]
+        c += mean_f[fidx]
+        np.maximum(c, 0.0, out=c)  # clamp; exact mean for zero-variance links
+        np.multiply(c, nxt, out=c)  # no dispatch -> no comm (and inert garbage)
+        pos += needs
+        tr_comm[i] = c
+        ns = t + c
+        ex = np.take(q_sizes_f, jn)
+        np.divide(ex, rate_f[fidx], out=ex)
+        ne = ns + ex
+        seqctr += 1  # the fetch's own sequence number
+        e_f[fidx] = np.where(nxt, ne, inf)
+        sq_f[fidx] = np.where(nxt, seqctr, _BIG_SEQ)
+        seqctr += nxt
+        cur_f[fidx] = jn
+        disp_f[fidx] = t
+        start_f[fidx] = ns
+        nextq_f[fidx] = jn + 1
+
+    # -- fold per-worker aggregates out of the dense completion arrays ---------
+    # C-order ravel of the (n, R) arrays is iteration-major, so every
+    # (lane, worker) cell sees its updates in completion order — the same
+    # accumulation sequence as the event path's per-worker scalars.
+    flat_idx = (tr_proc + rowsW[None, :]).ravel()
+    busy_f = np.zeros(R * W)
+    np.add.at(busy_f, flat_idx, (tr_end - tr_start).ravel())
+    comm_f = comm0.ravel().copy()
+    np.add.at(comm_f, flat_idx, tr_comm.ravel())
+    done_f = np.bincount(flat_idx, minlength=R * W)
+    last_f = np.zeros(R * W)
+    np.maximum.at(last_f, flat_idx, tr_end.ravel())
+    # Pending loads drain one clamped subtraction per completion, in each
+    # worker's queue order — a short loop over queue positions, vectorised
+    # over all (lane, worker) cells.
+    pl = loads
+    for k in range(int(counts.max(initial=0))):
+        s = np.take_along_axis(q_sizes, np.minimum(seg_start + k, n), axis=1)
+        pl = np.where(k < counts, np.maximum(pl - s, 0.0), pl)
+
+    if timing:
+        t_drain1 = perf_counter()
+        per_lane = {
+            "scheduling": (t_wave1 - t_wave0) / R,
+            "dispatch": (t_fetch1 - t_wave1) / R,
+            "drain": (t_drain1 - t_fetch1) / R,
+        }
+
+    # -- per-lane write-back and finalisation ----------------------------------
+    zeros_n = np.zeros(n)
+    for r, (idx, sim, _) in enumerate(lanes):
+        master = sim.master
+        sim._queue_samples.append(0.0, n, 0)  # the invoke-time sample
+        master.invocations += n
+        master.batch_sizes.extend([1] * n)
+        master.pending_loads[:] = pl[r]
+        base = r * W
+        for w, worker in enumerate(sim.workers):
+            worker.tasks_completed = int(done_f[base + w])
+            worker.busy_seconds = float(busy_f[base + w])
+            worker.comm_seconds = float(comm_f[base + w])
+            worker.busy_until = float(last_f[base + w])
+            worker.current_task = None
+        sim.trace.extend_records(
+            tr_tid[:, r], tr_proc[:, r], tr_size[:, r], zeros_n, zeros_n,
+            tr_disp[:, r], tr_start[:, r], tr_end[:, r],
+        )
+        sim._completed += n
+        if timing and sim._phase_timing:
+            for phase, seconds in per_lane.items():
+                sim._phase_seconds[phase] += seconds
+        end_time = float(tr_end[n - 1, r])
+        events_processed = 3 * n + 1 + int(Wp[r])
+        results[idx] = sim._finalise(end_time, events_processed)
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def _run_batched(sims: List["DistributedSystemSimulation"], results: list) -> list:
+    # Object sharing across lanes (one scheduler driving two sims) would make
+    # batched execution order-dependent; run everything sequentially instead.
+    seen: set = set()
+    shared = False
+    for sim in sims:
+        for obj in (sim, sim.scheduler, sim.master):
+            if id(obj) in seen:
+                shared = True
+            seen.add(id(obj))
+
+    groups: Dict[tuple, list] = {}
+    fallback: List[int] = []
+    for i, sim in enumerate(sims):
+        if sim.master.invocations or sim._completed or len(sim.trace):
+            raise SimulationError(
+                f"run_batched_replay needs freshly constructed simulations; "
+                f"lane {i} has already run"
+            )
+        plan = None if shared else _plan_lane(sim)
+        if plan is None:
+            fallback.append(i)
+        else:
+            key = (type(sim.scheduler), len(sim.tasks), sim.cluster.n_processors)
+            groups.setdefault(key, []).append((i, sim, plan))
+
+    # Fallback lanes replay sequentially in input order — exactly the
+    # per-repeat semantics (each lane is its own fast or event run).
+    for i in fallback:
+        sim = sims[i]
+        sim.scheduler.reset()
+        if sim.uses_fast_path():
+            end_time, events_processed = run_static_replay(sim)
+        else:
+            end_time, events_processed = sim._run_event_driven()
+        results[i] = sim._finalise(end_time, events_processed)
+
+    for (_, n, n_procs), lanes in groups.items():
+        _run_group(lanes, n, n_procs, results)
+    return results
+
+
+def run_batched_replay(
+    sims: Sequence["DistributedSystemSimulation"],
+) -> List["SimulationResult"]:
+    """Run *sims* (the repeat lanes of one condition) as one batched replay.
+
+    Returns one :class:`~repro.sim.simulation.SimulationResult` per input
+    simulation, in input order, each bit-identical to ``sims[i]._run_impl()``
+    on a fresh copy.  Simulations must be freshly constructed (not yet run).
+    Lanes that cannot join the batched tier (see the module docstring) fall
+    back to their own sequential fast/event replay transparently.
+    """
+    sims = list(sims)
+    if not sims:
+        return []
+    results: list = [None] * len(sims)
+    session = get_session()
+    if session is None:
+        return _run_batched(sims, results)
+    with session.span("sim:batch", repeats=len(sims)):
+        _run_batched(sims, results)
+        metrics = session.metrics
+        metrics.counter("sim.batch_lanes").inc(len(sims))
+        metrics.histogram("sim.batch_lane_width").observe(len(sims))
+    return results

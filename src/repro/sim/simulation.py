@@ -83,7 +83,7 @@ class DynamicsTimelineLike(Protocol):
 
 
 #: Valid values of :attr:`SimulationConfig.sim_backend`.
-SIM_BACKENDS = ("event", "fast")
+SIM_BACKENDS = ("event", "fast", "batch")
 
 
 @dataclass
@@ -102,7 +102,10 @@ class SimulationConfig:
     #: through the batched :mod:`repro.sim.fastpath` backend (bit-identical
     #: to the event engine; runs with cluster dynamics fall back to the
     #: event loop automatically), ``"event"`` always pumps the
-    #: discrete-event engine.
+    #: discrete-event engine, ``"batch"`` additionally lets repeat-axis
+    #: call sites stack many static replays into one structure-of-arrays
+    #: pass (:mod:`repro.sim.batch`; a single :meth:`run` behaves exactly
+    #: like ``"fast"``, and dynamic runs fall back per lane).
     sim_backend: str = "fast"
     #: Policy-kernel backend of the heuristic schedulers (see
     #: :mod:`repro.schedulers.kernels`): ``"vectorized"`` (dense-array
@@ -403,8 +406,13 @@ class DistributedSystemSimulation:
 
     # -- run -------------------------------------------------------------------------------
     def uses_fast_path(self) -> bool:
-        """Whether :meth:`run` will take the batched static-replay backend."""
-        return self.config.sim_backend == "fast" and is_static(self)
+        """Whether :meth:`run` will take the batched static-replay backend.
+
+        The ``"batch"`` backend is the fast path plus a repeat-axis entry
+        point (:func:`repro.sim.batch.run_batched_replay`); a single
+        :meth:`run` under it is exactly a ``"fast"`` run.
+        """
+        return self.config.sim_backend in ("fast", "batch") and is_static(self)
 
     def _run_event_driven(self) -> Tuple[float, int]:
         """Pump the discrete-event engine; returns (end time, events processed)."""
@@ -466,7 +474,15 @@ class DistributedSystemSimulation:
             end_time, events_processed = run_static_replay(self)
         else:
             end_time, events_processed = self._run_event_driven()
+        return self._finalise(end_time, events_processed)
 
+    def _finalise(self, end_time: float, events_processed: int) -> SimulationResult:
+        """Turn the post-run mutable state into a :class:`SimulationResult`.
+
+        Shared by every backend: the event engine, the static replay and the
+        repeat-axis batch runner (:mod:`repro.sim.batch`) all leave the same
+        result-visible state behind and finish through this one path.
+        """
         expected = len(self.tasks) + self._injected
         if self.config.time_horizon is None and self._completed != expected:
             raise SimulationError(

@@ -4,13 +4,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
 
 from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike, ensure_rng, spawn_rngs
 from ..util.validation import require_at_least
 from .arrival import AllAtOnce, ArrivalProcess
 from .distributions import SizeDistribution
-from .task import Task, TaskSet
+from .task import TaskSet
 
 __all__ = ["WorkloadSpec", "generate_workload", "WorkloadGenerator"]
 
@@ -73,17 +74,13 @@ def generate_workload(spec: WorkloadSpec, rng: RNGLike = None) -> TaskSet:
         raise ConfigurationError(
             f"arrival process produced {len(arrivals)} times for {spec.n_tasks} tasks"
         )
-    tasks = [
-        Task(
-            task_id=spec.first_task_id + i,
-            size_mflops=float(sizes[i]),
-            arrival_time=float(arrivals[i]),
-        )
-        for i in range(spec.n_tasks)
-    ]
-    # Submission order is arrival order (FCFS); stable sort keeps id order for ties.
-    tasks.sort(key=lambda t: (t.arrival_time, t.task_id))
-    return TaskSet(tasks)
+    sizes = np.asarray(sizes, dtype=float)
+    arrivals = np.asarray(arrivals, dtype=float)
+    ids = spec.first_task_id + np.arange(spec.n_tasks, dtype=np.int64)
+    # Submission order is arrival order (FCFS); lexsort keeps id order for ties,
+    # matching the previous stable (arrival_time, task_id) sort.
+    order = np.lexsort((ids, arrivals))
+    return TaskSet.from_arrays(ids[order], sizes[order], arrivals[order])
 
 
 class WorkloadGenerator:

@@ -78,6 +78,81 @@ class TaskSet:
         if len(set(ids)) != len(ids):
             raise WorkloadError("task ids within a TaskSet must be unique")
         self._by_id: Dict[int, Task] = {t.task_id: t for t in self._tasks}
+        self._arrays = None
+
+    @classmethod
+    def from_arrays(
+        cls, task_ids: np.ndarray, sizes: np.ndarray, arrivals: np.ndarray
+    ) -> "TaskSet":
+        """Build a TaskSet from parallel columns with vectorised validation.
+
+        Semantically identical to constructing one :class:`Task` per row (the
+        same invariants are enforced, over whole columns instead of per
+        task), but skips the per-task dataclass machinery — the workload
+        generator's hot path at million-task scale.  The columns are kept
+        (read-only) for :meth:`arrays`.
+        """
+        task_ids = np.ascontiguousarray(task_ids, dtype=np.int64)
+        sizes = np.ascontiguousarray(sizes, dtype=float)
+        arrivals = np.ascontiguousarray(arrivals, dtype=float)
+        n = task_ids.shape[0]
+        if sizes.shape != (n,) or arrivals.shape != (n,):
+            raise WorkloadError(
+                f"task columns must have equal lengths, got {task_ids.shape[0]}/"
+                f"{sizes.shape[0]}/{arrivals.shape[0]}"
+            )
+        bad = np.flatnonzero(task_ids < 0)
+        if bad.size:
+            raise WorkloadError(
+                f"task_id must be a non-negative integer, got {task_ids[bad[0]]!r}"
+            )
+        bad = np.flatnonzero(~np.isfinite(sizes) | (sizes <= 0))
+        if bad.size:
+            i = int(bad[0])
+            raise WorkloadError(
+                f"task {task_ids[i]}: size_mflops must be positive and finite, "
+                f"got {sizes[i]!r}"
+            )
+        bad = np.flatnonzero(~np.isfinite(arrivals) | (arrivals < 0))
+        if bad.size:
+            i = int(bad[0])
+            raise WorkloadError(
+                f"task {task_ids[i]}: arrival_time must be non-negative and finite, "
+                f"got {arrivals[i]!r}"
+            )
+        tasks: List[Task] = []
+        new = Task.__new__
+        setattr_ = object.__setattr__
+        for tid, size, arrival in zip(task_ids.tolist(), sizes.tolist(), arrivals.tolist()):
+            task = new(Task)
+            setattr_(task, "task_id", tid)
+            setattr_(task, "size_mflops", size)
+            setattr_(task, "arrival_time", arrival)
+            tasks.append(task)
+        self = cls.__new__(cls)
+        self._tasks = tasks
+        self._by_id = dict(zip(task_ids.tolist(), tasks))
+        if len(self._by_id) != n:
+            raise WorkloadError("task ids within a TaskSet must be unique")
+        for column in (sizes, arrivals, task_ids):
+            column.setflags(write=False)
+        self._arrays = (sizes, arrivals, task_ids)
+        return self
+
+    def arrays(self):
+        """``(sizes, arrivals, task_ids)`` columns in submission order.
+
+        Cached read-only views — the zero-copy accessor the batched replay
+        (:mod:`repro.sim.batch`) stacks its lane arrays from.
+        """
+        if self._arrays is None:
+            sizes = self.sizes()
+            arrivals = self.arrival_times()
+            task_ids = np.array([t.task_id for t in self._tasks], dtype=np.int64)
+            for column in (sizes, arrivals, task_ids):
+                column.setflags(write=False)
+            self._arrays = (sizes, arrivals, task_ids)
+        return self._arrays
 
     # -- basic container protocol -------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,604 @@
+"""Tests of the batch-of-simulations replay (`repro.sim.batch`).
+
+The contract under test: :func:`run_batched_replay` over R freshly
+constructed static simulations must be *bit-identical*, lane for lane, to
+running each simulation alone through the fast backend — every
+trace-visible number (full execution trace, metrics, scheduler accounting,
+queue trajectory, per-worker bookkeeping, processed-event count) and the
+per-lane RNG stream consumption.  Lanes that cannot join the batched tier
+(dynamic runs, unknown scheduler types, loop policy backend, non-zero
+arrivals) must fall back transparently with the same guarantee.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import heterogeneous_cluster, homogeneous_cluster
+from repro.schedulers.registry import make_scheduler
+from repro.sim.batch import BATCH_LANE_WIDTH, run_batched_replay
+from repro.sim.simulation import (
+    SIM_BACKENDS,
+    DistributedSystemSimulation,
+    SimulationConfig,
+)
+from repro.util.errors import SimulationError
+from repro.util.rng import ensure_rng, spawn_rngs
+from repro.workloads.generator import generate_workload
+from repro.workloads.suites import workload_by_name
+
+TRACE_COLUMNS = (
+    "task_id",
+    "proc_id",
+    "size_mflops",
+    "arrival_time",
+    "assigned_time",
+    "dispatch_time",
+    "exec_start",
+    "exec_end",
+)
+
+
+def build_lane_sims(
+    scheduler,
+    *,
+    workload="normal",
+    n_tasks=30,
+    cluster_kind="hetero",
+    n_processors=5,
+    mean_comm_cost=5.0,
+    seeds=(7,),
+    backend="batch",
+    policy_backend="vectorized",
+):
+    """One freshly constructed simulation per seed, each with its own streams."""
+    sims = []
+    for seed in seeds:
+        tasks = generate_workload(
+            workload_by_name(workload, n_tasks), np.random.default_rng(seed)
+        )
+        if cluster_kind == "hetero":
+            cluster = heterogeneous_cluster(
+                n_processors,
+                mean_comm_cost=mean_comm_cost,
+                rng=np.random.default_rng(seed + 1),
+            )
+        else:
+            cluster = homogeneous_cluster(
+                n_processors,
+                120.0,
+                mean_comm_cost=mean_comm_cost,
+                rng=np.random.default_rng(seed + 1),
+            )
+        sched = make_scheduler(
+            scheduler,
+            n_processors=n_processors,
+            batch_size=12,
+            max_generations=6,
+            rng=seed + 2,
+        )
+        sims.append(
+            DistributedSystemSimulation(
+                sched,
+                cluster,
+                tasks,
+                config=SimulationConfig(
+                    sim_backend=backend, policy_backend=policy_backend
+                ),
+                rng=seed + 3,
+            )
+        )
+    return sims
+
+
+def assert_lane_identical(ref_sim, ref_res, bat_sim, bat_res, lane):
+    ctx = f"lane {lane}"
+    assert bat_res.makespan == ref_res.makespan, ctx
+    assert bat_res.efficiency == ref_res.efficiency, ctx
+    assert bat_res.metrics.summary() == ref_res.metrics.summary(), ctx
+    assert bat_res.scheduler_invocations == ref_res.scheduler_invocations, ctx
+    assert bat_res.batch_sizes == ref_res.batch_sizes, ctx
+    assert bat_res.events_processed == ref_res.events_processed, ctx
+    assert (
+        bat_res.metrics.dynamics.queue_length_trajectory
+        == ref_res.metrics.dynamics.queue_length_trajectory
+    ), ctx
+    assert len(bat_res.trace) == len(ref_res.trace), ctx
+    for name in TRACE_COLUMNS:
+        np.testing.assert_array_equal(
+            bat_res.trace.column(name),
+            ref_res.trace.column(name),
+            err_msg=f"{ctx} column {name}",
+        )
+    for worker_r, worker_b in zip(ref_sim.workers, bat_sim.workers):
+        assert worker_b.tasks_completed == worker_r.tasks_completed, ctx
+        assert worker_b.busy_seconds == worker_r.busy_seconds, ctx
+        assert worker_b.comm_seconds == worker_r.comm_seconds, ctx
+        assert worker_b.busy_until == worker_r.busy_until, ctx
+    np.testing.assert_array_equal(
+        bat_sim.master.pending_loads, ref_sim.master.pending_loads, err_msg=ctx
+    )
+
+
+def assert_batch_matches_per_repeat(scheduler, seeds, **kwargs):
+    ref_sims = build_lane_sims(scheduler, seeds=seeds, backend="fast", **kwargs)
+    ref = [sim.run() for sim in ref_sims]
+    bat_sims = build_lane_sims(scheduler, seeds=seeds, backend="batch", **kwargs)
+    bat = run_batched_replay(bat_sims)
+    assert len(bat) == len(ref)
+    for lane, (rs, rr, bs, br) in enumerate(zip(ref_sims, ref, bat_sims, bat)):
+        assert_lane_identical(rs, rr, bs, br, lane)
+
+
+class TestBatchedReplayParity:
+    @pytest.mark.parametrize("scheduler", ["EF", "LL", "RR"])
+    @pytest.mark.parametrize("cluster_kind", ["hetero", "homog"])
+    def test_bit_identical_stacked_schedulers(self, scheduler, cluster_kind):
+        assert_batch_matches_per_repeat(
+            scheduler, seeds=[100 * i + 7 for i in range(4)], cluster_kind=cluster_kind
+        )
+
+    @pytest.mark.parametrize("lanes", [1, 2, 7, 32])
+    def test_bit_identical_at_every_lane_count(self, lanes):
+        assert_batch_matches_per_repeat(
+            "EF", seeds=[13 * i + 1 for i in range(lanes)], n_tasks=16, n_processors=3
+        )
+
+    def test_zero_comm_cost_lanes(self):
+        # Deterministic zero-cost links never consume the network stream.
+        assert_batch_matches_per_repeat(
+            "LL", seeds=[5, 6, 7], cluster_kind="homog", mean_comm_cost=0.0
+        )
+
+    def test_mixed_lane_shapes_group_independently(self):
+        # Lanes of different (n_tasks, n_procs) batch in separate groups but
+        # return in input order.
+        ref, bat = [], []
+        for backend, sink in (("fast", ref), ("batch", bat)):
+            sims = []
+            sims += build_lane_sims("EF", seeds=[3, 4], n_tasks=20, backend=backend)
+            sims += build_lane_sims(
+                "EF", seeds=[5], n_tasks=9, n_processors=2, backend=backend
+            )
+            sims += build_lane_sims("RR", seeds=[6, 7], n_tasks=20, backend=backend)
+            sink.append(sims)
+        ref_sims, bat_sims = ref[0], bat[0]
+        ref_results = [sim.run() for sim in ref_sims]
+        bat_results = run_batched_replay(bat_sims)
+        for lane, (rs, rr, bs, br) in enumerate(
+            zip(ref_sims, ref_results, bat_sims, bat_results)
+        ):
+            assert_lane_identical(rs, rr, bs, br, lane)
+
+    def test_loop_policy_backend_falls_back_bit_identically(self):
+        assert_batch_matches_per_repeat(
+            "EF", seeds=[1, 2, 3], policy_backend="loop"
+        )
+
+    def test_ga_scheduler_falls_back_bit_identically(self):
+        assert_batch_matches_per_repeat("MM", seeds=[9, 10], n_tasks=12)
+
+    def test_poisson_arrivals_fall_back_bit_identically(self):
+        # Non-zero arrivals leave the batched tier; the fallback is the
+        # ordinary per-lane fast replay.
+        assert_batch_matches_per_repeat(
+            "EF", seeds=[2, 3, 4], workload="poisson_small", n_tasks=18
+        )
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(0, 2**20),
+        scheduler=st.sampled_from(["EF", "LL", "RR"]),
+        cluster_kind=st.sampled_from(["hetero", "homog"]),
+        workload=st.sampled_from(["normal", "uniform_wide", "poisson_small"]),
+        n_tasks=st.integers(4, 24),
+        n_processors=st.integers(1, 6),
+        mean_comm_cost=st.sampled_from([0.0, 2.0, 15.0]),
+        policy_backend=st.sampled_from(["loop", "vectorized"]),
+        lanes=st.sampled_from([1, 2, 7, 32]),
+    )
+    def test_property_batched_equals_per_repeat(
+        self,
+        seed,
+        scheduler,
+        cluster_kind,
+        workload,
+        n_tasks,
+        n_processors,
+        mean_comm_cost,
+        policy_backend,
+        lanes,
+    ):
+        # loop policy backend and poisson arrivals exercise the fallback tier
+        # inside the same property: eligibility must never change results.
+        assert_batch_matches_per_repeat(
+            scheduler,
+            seeds=[seed + 1000 * i for i in range(lanes)],
+            workload=workload,
+            n_tasks=n_tasks,
+            cluster_kind=cluster_kind,
+            n_processors=n_processors,
+            mean_comm_cost=mean_comm_cost,
+            policy_backend=policy_backend,
+        )
+
+
+class TestBatchBackendSemantics:
+    def test_batch_is_a_registered_backend(self):
+        assert "batch" in SIM_BACKENDS
+        assert SimulationConfig(sim_backend="batch").sim_backend == "batch"
+
+    def test_single_sim_run_matches_fast(self):
+        # sim.run() on a batch-configured simulation is just the fast path.
+        (ref,) = build_lane_sims("EF", seeds=[21], backend="fast")
+        (bat,) = build_lane_sims("EF", seeds=[21], backend="batch")
+        assert bat.uses_fast_path()
+        assert_lane_identical(ref, ref.run(), bat, bat.run(), 0)
+
+    def test_empty_input_returns_empty(self):
+        assert run_batched_replay([]) == []
+
+    def test_stale_simulation_rejected(self):
+        sims = build_lane_sims("EF", seeds=[1, 2])
+        sims[1].run()
+        with pytest.raises(SimulationError, match="freshly constructed"):
+            run_batched_replay(sims)
+
+    def test_shared_scheduler_falls_back_sequentially(self):
+        # One scheduler object driving two lanes would make batched order
+        # matter; the replay must detect it and run lane-by-lane instead.
+        sims = build_lane_sims("EF", seeds=[1, 2])
+        sims[1].scheduler = sims[0].scheduler
+        results = run_batched_replay(sims)
+        ref_sims = build_lane_sims("EF", seeds=[1, 2], backend="fast")
+        ref0 = ref_sims[0].run()
+        assert results[0].makespan == ref0.makespan
+
+    def test_dynamic_lane_falls_back_to_event_engine(self):
+        from repro.scenarios.dynamics import DynamicsTimeline, WorkerFailure
+
+        tasks = generate_workload(
+            workload_by_name("normal", 12), np.random.default_rng(0)
+        )
+        cluster = homogeneous_cluster(3, 100.0, mean_comm_cost=1.0)
+
+        def make(backend, dynamics):
+            sched = make_scheduler(
+                "EF", n_processors=3, batch_size=5, max_generations=5, rng=1
+            )
+            return DistributedSystemSimulation(
+                sched,
+                cluster,
+                tasks,
+                config=SimulationConfig(sim_backend=backend),
+                dynamics=dynamics,
+                rng=2,
+            )
+
+        timeline = DynamicsTimeline([WorkerFailure(time=5.0, proc=0)])
+        ref_sim = make("event", DynamicsTimeline([WorkerFailure(time=5.0, proc=0)]))
+        ref = ref_sim.run()
+        (bat,) = run_batched_replay([make("batch", timeline)])
+        assert bat.makespan == ref.makespan
+        assert bat.events_processed == ref.events_processed
+        assert bat.metrics.tasks_completed == 12
+
+
+class TestComparisonBlockParity:
+    def _jobs(self, repeats):
+        from repro.parallel.jobs import ComparisonRepeatJob
+
+        rng = ensure_rng(77)
+        return [
+            ComparisonRepeatJob(
+                seed_entropy=int(rng.integers(0, 2**63 - 1)),
+                workload_spec=workload_by_name("normal", 24),
+                scheduler_names=("EF", "LL"),
+                n_processors=4,
+                batch_size=8,
+                max_generations=4,
+                mean_comm_cost=6.0,
+                sim_config=SimulationConfig(sim_backend="batch"),
+            )
+            for _ in range(repeats)
+        ]
+
+    def test_block_matches_per_repeat_jobs(self):
+        from repro.parallel.jobs import (
+            ComparisonBlockJob,
+            run_comparison_block,
+            run_comparison_repeat,
+        )
+
+        jobs = self._jobs(5)
+        block_outcomes = run_comparison_block(ComparisonBlockJob(jobs=tuple(jobs)))
+        for job, block_outcome in zip(jobs, block_outcomes):
+            assert block_outcome.metrics == run_comparison_repeat(job).metrics
+
+    def test_block_rejects_mismatched_scheduler_sets(self):
+        import dataclasses
+
+        from repro.parallel.jobs import ComparisonBlockJob, run_comparison_block
+
+        jobs = self._jobs(2)
+        odd = dataclasses.replace(jobs[1], scheduler_names=("EF",))
+        with pytest.raises(ValueError, match="scheduler"):
+            run_comparison_block(ComparisonBlockJob(jobs=(jobs[0], odd)))
+
+    def test_compare_schedulers_batch_equals_fast(self):
+        from repro.experiments.config import get_scale
+        from repro.experiments.runner import compare_schedulers
+
+        outcomes = {}
+        for backend in ("fast", "batch"):
+            scale = get_scale("smoke").scaled(repeats=5, sim_backend=backend)
+            result = compare_schedulers(
+                workload_by_name("normal", 30),
+                scale,
+                mean_comm_cost=5.0,
+                scheduler_names=["EF", "LL"],
+                seed=21,
+            )
+            outcomes[backend] = {
+                name: (
+                    cmp.makespan.mean,
+                    cmp.efficiency.mean,
+                    cmp.mean_response_time.mean,
+                    cmp.invocations.mean,
+                )
+                for name, cmp in result.schedulers.items()
+            }
+        assert outcomes["batch"] == outcomes["fast"]
+
+    def test_compare_schedulers_batch_parallel_equals_serial(self):
+        from repro.experiments.config import get_scale
+        from repro.experiments.runner import compare_schedulers
+        from repro.parallel.executor import ParallelExecutor
+
+        scale = get_scale("smoke").scaled(repeats=4, sim_backend="batch")
+
+        def run(executor=None):
+            result = compare_schedulers(
+                workload_by_name("normal", 24),
+                scale,
+                mean_comm_cost=4.0,
+                scheduler_names=["EF", "RR"],
+                seed=5,
+                executor=executor,
+            )
+            return {
+                name: (cmp.makespan.mean, cmp.efficiency.mean)
+                for name, cmp in result.schedulers.items()
+            }
+
+        serial = run()
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = run(executor)
+        assert serial == parallel
+
+
+class TestScenarioMatrixParity:
+    def test_batch_signature_matches_fast_and_event(self):
+        from repro.experiments.config import get_scale
+        from repro.scenarios.runner import run_scenario_matrix
+
+        signatures = {
+            backend: run_scenario_matrix(
+                ["steady-state"],
+                scale=get_scale("smoke").scaled(sim_backend=backend),
+                schedulers=["EF", "LL"],
+                repeats=3,
+                seed=13,
+            ).signature()
+            for backend in SIM_BACKENDS
+        }
+        assert signatures["batch"] == signatures["fast"] == signatures["event"]
+
+    def test_dynamic_scenario_cells_fall_back(self):
+        # failure-storm cells carry real dynamics: every lane falls back to
+        # the event engine, and the matrix signature still matches.
+        from repro.experiments.config import get_scale
+        from repro.scenarios.runner import run_scenario_matrix
+
+        signatures = {
+            backend: run_scenario_matrix(
+                ["failure-storm"],
+                scale=get_scale("smoke").scaled(sim_backend=backend),
+                schedulers=["EF"],
+                repeats=2,
+                seed=29,
+            ).signature()
+            for backend in ("fast", "batch")
+        }
+        assert signatures["batch"] == signatures["fast"]
+
+    def test_batch_parallel_equals_serial(self):
+        from repro.experiments.config import get_scale
+        from repro.parallel.executor import ParallelExecutor
+        from repro.scenarios.runner import run_scenario_matrix
+
+        scale = get_scale("smoke").scaled(sim_backend="batch")
+        serial = run_scenario_matrix(
+            ["steady-state"], scale=scale, schedulers=["EF", "LL"], repeats=3, seed=13
+        )
+        with ParallelExecutor(jobs=2) as executor:
+            parallel = run_scenario_matrix(
+                ["steady-state"],
+                scale=scale,
+                schedulers=["EF", "LL"],
+                repeats=3,
+                seed=13,
+                executor=executor,
+            )
+        assert serial.signature() == parallel.signature()
+
+    def test_block_builder_groups_consecutive_cells(self):
+        from repro.experiments.config import get_scale
+        from repro.scenarios.runner import (
+            build_scenario_cell_blocks,
+            build_scenario_cells,
+            resolve_scenario_specs,
+        )
+
+        scale = get_scale("smoke").scaled(sim_backend="batch")
+        cells, _ = build_scenario_cells(
+            resolve_scenario_specs(["steady-state"], scale),
+            scale=scale,
+            schedulers=["EF", "LL"],
+            n_repeats=3,
+            sim_config=SimulationConfig(sim_backend="batch"),
+            master_rng=ensure_rng(1),
+        )
+        blocks = build_scenario_cell_blocks(cells)
+        # 2 schedulers x 3 repeats -> one block of 3 lanes per scheduler.
+        assert [len(b.cells) for b in blocks] == [3, 3]
+        assert sum(len(b.cells) for b in blocks) == len(cells)
+        for block in blocks:
+            assert len({(c.spec.name, c.scheduler) for c in block.cells}) == 1
+        assert all(len(b.cells) <= BATCH_LANE_WIDTH for b in blocks)
+
+
+class TestCampaignStoreParity:
+    def test_batch_fingerprints_canonicalise_to_fast(self):
+        from repro.campaigns.store import cache_key
+        from repro.experiments.config import get_scale
+
+        assert cache_key("scenario", SimulationConfig(sim_backend="batch")) == cache_key(
+            "scenario", SimulationConfig(sim_backend="fast")
+        )
+        assert cache_key(
+            "scenario", get_scale("smoke").scaled(sim_backend="batch")
+        ) == cache_key("scenario", get_scale("smoke").scaled(sim_backend="fast"))
+        # The canonicalisation is specific: event still keys separately.
+        assert cache_key("scenario", SimulationConfig(sim_backend="event")) != cache_key(
+            "scenario", SimulationConfig(sim_backend="fast")
+        )
+
+    def test_batch_campaign_resumes_warm_from_fast_store(self, tmp_path):
+        from repro.campaigns.runner import run_campaign
+        from repro.campaigns.spec import CampaignSpec
+        from repro.campaigns.store import ResultStore
+
+        store = ResultStore(tmp_path / "store")
+        kwargs = dict(
+            scale="smoke", seed=17, scenarios=("steady-state",),
+            schedulers=("EF",), repeats=3,
+        )
+        cold = run_campaign(
+            CampaignSpec(name="c-fast", sim_backend="fast", **kwargs), store
+        )
+        assert cold.computed > 0 and not cold.interrupted
+        warm = run_campaign(
+            CampaignSpec(name="c-batch", sim_backend="batch", **kwargs), store
+        )
+        # Every batch cell hits the fast-computed record: same content keys.
+        assert warm.computed == 0
+        assert warm.cached == cold.computed + cold.cached
+
+    def test_cold_batch_campaign_matches_fast(self, tmp_path):
+        from repro.campaigns.runner import load_manifest, run_campaign
+        from repro.campaigns.spec import CampaignSpec
+        from repro.campaigns.store import ResultStore
+
+        manifests = {}
+        for backend in ("fast", "batch"):
+            store = ResultStore(tmp_path / backend)
+            run_campaign(
+                CampaignSpec(
+                    name="c",
+                    scale="smoke",
+                    seed=23,
+                    scenarios=("steady-state",),
+                    schedulers=("EF", "LL"),
+                    repeats=3,
+                    sim_backend=backend,
+                ),
+                store,
+            )
+            manifest = load_manifest(store, "c")
+            manifests[backend] = {
+                cell["key"]: cell["status"] for cell in manifest["cells"]
+            }
+        assert manifests["batch"] == manifests["fast"]
+
+
+class TestGAReplayParity:
+    def _problem(self, seed=31, n_tasks=14, n_procs=4):
+        tasks = generate_workload(
+            workload_by_name("normal", n_tasks), np.random.default_rng(seed)
+        )
+        cluster = heterogeneous_cluster(
+            n_procs, mean_comm_cost=3.0, rng=np.random.default_rng(seed + 1)
+        )
+        pop_rng = np.random.default_rng(seed + 2)
+        assignments = pop_rng.integers(0, n_procs, size=(6, n_tasks))
+        return tasks, cluster, assignments
+
+    def test_population_replay_matches_per_individual_fast_runs(self):
+        from repro.ga.replay import FixedAssignmentScheduler, evaluate_population_replay
+
+        tasks, cluster, assignments = self._problem()
+        result = evaluate_population_replay(assignments, cluster, tasks, rng=99)
+
+        ref_rngs = spawn_rngs(ensure_rng(99), len(assignments))
+        for i, assignment in enumerate(assignments):
+            sim = DistributedSystemSimulation(
+                FixedAssignmentScheduler(assignment),
+                cluster,
+                tasks,
+                config=SimulationConfig(sim_backend="fast"),
+                rng=ref_rngs[i],
+            )
+            ref = sim.run()
+            assert result.makespans[i] == ref.makespan
+            assert result.efficiencies[i] == ref.efficiency
+            assert result.mean_response_times[i] == ref.metrics.mean_response_time
+            assert result.results[i].metrics.summary() == ref.metrics.summary()
+        assert result.best_index == int(np.argmin(result.makespans))
+
+    def test_fixed_assignment_scheduler_validates(self):
+        from repro.ga.replay import FixedAssignmentScheduler
+        from repro.util.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FixedAssignmentScheduler(np.zeros((2, 3), dtype=np.int64))
+
+    def test_population_replay_validates_gene_range(self):
+        from repro.ga.replay import evaluate_population_replay
+        from repro.util.errors import ConfigurationError
+
+        tasks, cluster, assignments = self._problem()
+        bad = assignments.copy()
+        bad[0, 0] = cluster.n_processors  # out of range
+        with pytest.raises(ConfigurationError):
+            evaluate_population_replay(bad, cluster, tasks, rng=1)
+
+
+class TestBatchTelemetry:
+    def test_batch_span_and_metrics_recorded(self):
+        from repro.telemetry import telemetry_session
+
+        sims = build_lane_sims("EF", seeds=[1, 2, 3], n_tasks=10, n_processors=2)
+        with telemetry_session() as session:
+            run_batched_replay(sims)
+        span = next(s for s in session.spans if s.name == "sim:batch")
+        assert span.attrs["repeats"] == 3
+        snapshot = session.metrics.snapshot()
+        assert snapshot["counters"]["sim.batch_lanes"] == 3.0
+        assert "sim.batch_lane_width" in snapshot["histograms"]
+
+    def test_disabled_telemetry_changes_nothing(self):
+        from repro.telemetry import get_session
+
+        assert get_session() is None
+        ref_sims = build_lane_sims("EF", seeds=[4, 5], backend="fast")
+        ref = [sim.run() for sim in ref_sims]
+        bat_sims = build_lane_sims("EF", seeds=[4, 5], backend="batch")
+        bat = run_batched_replay(bat_sims)
+        for lane, (rs, rr, bs, br) in enumerate(zip(ref_sims, ref, bat_sims, bat)):
+            assert_lane_identical(rs, rr, bs, br, lane)
