@@ -13,9 +13,15 @@ scheduling wave over the whole workload, ``sim_backend="fast"``) three ways:
   Reported as an overhead ratio over the disabled run with a hard 1.5x
   ceiling (measured overheads are a few percent; the ceiling guards against
   someone accidentally putting allocation on the hot path);
-* **rng-inert** — before any timing, the enabled and disabled runs must be
-  bit-identical on the full execution trace (a ``bool`` row with floor 1.0,
-  so the scorecard hard-fails if telemetry ever perturbs a result).
+* **resources** — enabled *plus* per-span resource attribution
+  (``capture_resources=True``: process-CPU, RSS delta and GC counts read at
+  every span boundary).  Reported as ``resource_overhead_x`` over the same
+  disabled baseline, gated by the same 1.5x ceiling — the probes are a few
+  syscalls per span, not per simulated event, so they must stay in the noise;
+* **rng-inert** — before any timing, all three runs must be bit-identical on
+  the full execution trace (a ``bool`` row with floor 1.0, so the scorecard
+  hard-fails if telemetry — including resource capture — ever perturbs a
+  result).
 
 Writes a schema-v2 BENCH record (the default target is the committed one)::
 
@@ -42,11 +48,20 @@ from repro.telemetry import TelemetrySession, telemetry_session
 DEFAULT_RECORD = os.path.join(os.path.dirname(__file__), "BENCH_telemetry.json")
 #: Allowed fractional regression of the disabled (no-op) path's throughput.
 DISABLED_TOLERANCE = 0.02
-#: Hard ceiling on the enabled/disabled wall-time ratio.
+#: Hard ceiling on the enabled/disabled wall-time ratio; resource capture is
+#: held to the same ceiling (its probes are per-span, not per-event).
 ENABLED_OVERHEAD_CEILING = 1.5
+RESOURCE_OVERHEAD_CEILING = 1.5
+
+#: Benchmark modes: session factory per mode (``None`` = no session).
+MODES = (
+    ("disabled", None),
+    ("enabled", lambda: TelemetrySession()),
+    ("resources", lambda: TelemetrySession(capture_resources=True)),
+)
 
 
-def run_once(scale: SimScale, seed: int, enabled: bool):
+def run_once(scale: SimScale, seed: int, session_factory):
     """One fast-path replay simulation; returns ``(result, seconds)``."""
     tasks, cluster = build_inputs(scale, seed)
     scheduler = make_scheduler(
@@ -63,9 +78,9 @@ def run_once(scale: SimScale, seed: int, enabled: bool):
         result = simulate_schedule(scheduler, cluster, tasks, config=config, rng=seed + 3)
         return result, time.perf_counter() - start
 
-    if not enabled:
+    if session_factory is None:
         return timed_run()
-    with telemetry_session(TelemetrySession()):
+    with telemetry_session(session_factory()):
         return timed_run()
 
 
@@ -73,22 +88,24 @@ def measure_scale(scale: SimScale, seed: int, repeats: int) -> Dict[str, object]
     """Best-of-*repeats* timings plus the bit-identity verdict for one scale."""
     digests = {}
     best = {}
-    run_once(scale, seed, enabled=False)  # warm caches before any timing
-    for mode, enabled in (("disabled", False), ("enabled", True)):
+    run_once(scale, seed, None)  # warm caches before any timing
+    for mode, session_factory in MODES:
         fastest = float("inf")
         for _ in range(repeats):
-            result, elapsed = run_once(scale, seed, enabled)
+            result, elapsed = run_once(scale, seed, session_factory)
             fastest = min(fastest, elapsed)
         digests[mode] = result_digest(result)
         best[mode] = fastest
     return {
         "n_tasks": scale.n_tasks,
         "n_processors": scale.n_processors,
-        "rng_inert": digests["enabled"] == digests["disabled"],
+        "rng_inert": len(set(digests.values())) == 1,
         "disabled_seconds": round(best["disabled"], 6),
         "enabled_seconds": round(best["enabled"], 6),
+        "resources_seconds": round(best["resources"], 6),
         "disabled_sims_per_second": round(1.0 / best["disabled"], 3),
         "enabled_overhead_x": round(best["enabled"] / best["disabled"], 4),
+        "resource_overhead_x": round(best["resources"] / best["disabled"], 4),
     }
 
 
@@ -115,6 +132,16 @@ def run_record(args: argparse.Namespace) -> int:
                 scale=name,
                 direction="lower",
                 floor=ENABLED_OVERHEAD_CEILING,
+            )
+        )
+        rows.append(
+            bench_row(
+                "resource_overhead_x",
+                data["resource_overhead_x"],
+                "x",
+                scale=name,
+                direction="lower",
+                floor=RESOURCE_OVERHEAD_CEILING,
             )
         )
         rows.append(

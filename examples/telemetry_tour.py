@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Tour of the observability layer (``repro.telemetry``).
 
-Walks the full surface in five stops:
+Walks the full surface in six stops:
 
 1. **Spans** — wrap any code in a :func:`repro.telemetry.span` context (or
    the :func:`repro.telemetry.traced` decorator) while a session is active
@@ -12,11 +12,16 @@ Walks the full surface in five stops:
 3. **Cross-process aggregation** — the same scenario matrix run through the
    process-pool executor: worker-side subtrees are merged into the driver's
    tree with per-worker (``pid-<n>``) attribution.
-4. **RNG inertness** — the run with telemetry enabled is asserted equal to
-   the run with it disabled (the subsystem's core contract).
+4. **RNG inertness** — the run with telemetry enabled (including per-span
+   resource capture) is asserted equal to the run with it disabled (the
+   subsystem's core contract).
 5. **JSONL export + introspection** — content-addressed run files, reloaded
    and rendered (hot phases, span tree, critical path), same machinery as
    ``repro telemetry summarize|tree|top``.
+6. **Run diffing** — a second, heavier run of the same matrix is recorded
+   and diffed against the first: spans align by name path (worker
+   placement is ignored), and the report names the paths that got slower —
+   the CLI equivalent is ``repro telemetry diff A.jsonl B.jsonl``.
 
 Run with::
 
@@ -32,7 +37,9 @@ from repro.scenarios import run_scenario_matrix
 from repro.telemetry import (
     TelemetrySession,
     critical_path,
+    diff_runs,
     load_run_jsonl,
+    render_diff,
     render_tree,
     span,
     summarize_spans,
@@ -49,18 +56,18 @@ def parse_args() -> argparse.Namespace:
     return parser.parse_args()
 
 
-def run_matrix(args: argparse.Namespace, session=None):
+def run_matrix(args: argparse.Namespace, session=None, repeats: int = 2):
     """One small scenario matrix, optionally recorded into *session*."""
     if session is None:
         return run_scenario_matrix(
-            ["failure-storm"], schedulers=["PN", "EF"], repeats=2,
+            ["failure-storm"], schedulers=["PN", "EF"], repeats=repeats,
             seed=args.seed, jobs=args.jobs,
         )
     with telemetry_session(session):
         # A user-level root span: everything the runners record nests below.
         with span("tour:matrix", jobs=args.jobs):
             return run_scenario_matrix(
-                ["failure-storm"], schedulers=["PN", "EF"], repeats=2,
+                ["failure-storm"], schedulers=["PN", "EF"], repeats=repeats,
                 seed=args.seed, jobs=args.jobs,
             )
 
@@ -71,8 +78,9 @@ def main() -> None:
     # Stop 4 first, structurally: a plain run is the reference...
     plain = run_matrix(args)
 
-    # ...and the recorded run (stops 1-3) must be bit-identical to it.
-    session = TelemetrySession()
+    # ...and the recorded run (stops 1-3, with per-span CPU/RSS/GC capture
+    # on) must be bit-identical to it.
+    session = TelemetrySession(capture_resources=True)
     recorded = run_matrix(args, session)
     assert recorded.outcomes == plain.outcomes, "telemetry perturbed a result!"
     print("rng inertness: recorded run is bit-identical to the plain run")
@@ -114,6 +122,19 @@ def main() -> None:
     print("critical path:")
     for node in critical_path(run["spans"]):
         print(f"  {node.name}  {node.duration * 1000.0:.3f}ms")
+
+    # Stop 6: record a second, heavier run (one extra repeat stands in for
+    # "the same workload after a change") and diff it against the first.
+    session_b = TelemetrySession(capture_resources=True)
+    run_matrix(args, session_b, repeats=3)
+    with tempfile.NamedTemporaryFile(suffix=".jsonl") as handle:
+        write_run_jsonl(
+            handle.name, session_b, meta={"example": "telemetry-tour", "variant": "B"}
+        )
+        run_b = load_run_jsonl(handle.name)
+    diff = diff_runs(run, run_b)
+    print("\nrun diff (A = 2 repeats, B = 3 repeats):")
+    print(render_diff(diff, limit=10))
 
 
 if __name__ == "__main__":

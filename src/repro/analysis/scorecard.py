@@ -61,6 +61,7 @@ __all__ = [
     "load_bench_record",
     "find_bench_records",
     "manifest_record",
+    "telemetry_diff_record",
     "render_bench_markdown",
     "new_history",
     "load_history",
@@ -269,6 +270,75 @@ def manifest_record(path: str) -> Optional[Dict]:
         rows,
         config={"executor": manifest.get("executor", "")},
         machine=machine if isinstance(machine, dict) else _unknown_machine(),
+    )
+
+
+def telemetry_diff_record(path: str) -> Dict:
+    """A dashboard-only BENCH record from a ``repro telemetry diff`` record.
+
+    Folds a machine-readable diff (``telemetry diff --output``) into
+    normalized rows under the benchmark name ``telemetry-diff/<candidate
+    run id>``: the overall elapsed ratio, the significant regression /
+    improvement counts, and the per-path elapsed ratio of each significant
+    path (worst first, capped).  Rows carry no tolerance or floor — the
+    diff *attributes* a regression the throughput gates caught elsewhere;
+    it does not gate on its own.  The deepest regressed path and the
+    counter deltas ride along in the record's ``detail``.
+    """
+    from ..telemetry.diff import load_diff_record
+
+    record = load_diff_record(path)
+    total_a = float(record.get("total_elapsed_a") or 0.0)
+    total_b = float(record.get("total_elapsed_b") or 0.0)
+    rows: List[Dict[str, object]] = [
+        bench_row(
+            "elapsed_ratio",
+            (total_b / total_a) if total_a > 0 else 0.0,
+            "x",
+            direction="lower",
+        ),
+        bench_row(
+            "n_regressions",
+            int(record.get("n_regressions", 0)),
+            "count",
+            direction="lower",
+        ),
+        bench_row(
+            "n_improvements",
+            int(record.get("n_improvements", 0)),
+            "count",
+            direction="higher",
+        ),
+    ]
+    significant = [
+        p
+        for p in record.get("paths", [])
+        if p.get("significant") and p.get("delta_ratio") is not None
+    ]
+    significant.sort(key=lambda p: abs(float(p.get("delta_seconds", 0.0))), reverse=True)
+    for entry in significant[:10]:
+        rows.append(
+            bench_row(
+                f"path/{entry['path']}",
+                1.0 + float(entry["delta_ratio"]),
+                "x",
+                direction="lower",
+            )
+        )
+    run_b = record.get("run_b") or {}
+    return make_bench_record(
+        f"telemetry-diff/{run_b.get('run_id', 'unnamed')}",
+        rows,
+        config={
+            "run_a": record.get("run_a"),
+            "run_b": record.get("run_b"),
+            "threshold": record.get("threshold"),
+        },
+        detail={
+            "deepest_regression": record.get("deepest_regression"),
+            "counter_deltas": record.get("counter_deltas"),
+        },
+        machine=_unknown_machine(),
     )
 
 

@@ -53,6 +53,7 @@ from ..scenarios.runner import (
 )
 from ..sim.simulation import SimulationConfig
 from ..telemetry import get_session, span
+from ..telemetry.monitor import RunMonitor
 from ..util.errors import ConfigurationError, ExperimentInterrupted
 from .spec import CampaignSpec
 from .store import ResultStore, cache_key
@@ -581,6 +582,20 @@ def run_campaign(
             hit_rate,
         )
 
+    # The live monitor: a status sidecar of the manifest, updated on every
+    # completed cell (throttled) and readable while the run is in flight by
+    # ``repro campaigns watch``.  Units are computed up front so the monitor
+    # can report the lane-block shape the executor will actually see.
+    units = _campaign_units(pending, scale.sim_backend)
+    monitor = RunMonitor(
+        store.status_path(spec.name),
+        name=spec.name,
+        total_units=len(plan.cells),
+        cached=cached_count,
+        executor=executor.describe(),
+        lane_widths=[len(unit) for unit in units],
+    )
+
     def persist(cell: CampaignCell, outcome: Dict) -> None:
         nonlocal computed
         if not store.has(cell.key):  # duplicate keys: first write wins
@@ -601,6 +616,7 @@ def run_campaign(
         statuses[cell.cell_id] = "computed"
         timings[cell.cell_id] = {"elapsed_seconds": outcome["elapsed_seconds"]}
         computed += 1
+        monitor.cell_event(cell.cell_id, "computed", outcome["elapsed_seconds"])
         progress()
 
     def checkpoint(aggregates: Optional[Dict] = None, timing: Optional[Dict] = None) -> str:
@@ -628,44 +644,46 @@ def run_campaign(
         # Under the batch backend, consecutive same-condition scenario cells
         # form one executor unit (a lane block); otherwise every unit is a
         # single cell and the streaming behaviour is exactly the historical
-        # per-cell one.  Checkpointing happens per unit.
-        units = _campaign_units(pending, scale.sim_backend)
-        stream = executor.imap(run_campaign_unit, units)
-        try:
-            for unit, unit_outcomes in zip(units, stream):
-                for cell, outcome in zip(unit, unit_outcomes):
-                    persist(cell, outcome)
-                remaining = len(pending) - sum(
-                    1 for c in pending if statuses[c.cell_id] == "computed"
-                )
-                if max_cells is not None and computed >= max_cells and remaining > 0:
-                    interrupted = True
-                    interrupt_reason = "max-cells"
+        # per-cell one.  Checkpointing happens per unit.  The heartbeat
+        # context is active while the executor wraps and runs the jobs, so
+        # worker processes report per-job progress beside the status file.
+        with monitor.heartbeats():
+            stream = executor.imap(run_campaign_unit, units)
+            try:
+                for unit, unit_outcomes in zip(units, stream):
+                    for cell, outcome in zip(unit, unit_outcomes):
+                        persist(cell, outcome)
+                    remaining = len(pending) - sum(
+                        1 for c in pending if statuses[c.cell_id] == "computed"
+                    )
+                    if max_cells is not None and computed >= max_cells and remaining > 0:
+                        interrupted = True
+                        interrupt_reason = "max-cells"
+                        manifest_path = checkpoint()
+                        break
                     manifest_path = checkpoint()
-                    break
+            except (KeyboardInterrupt, ExperimentInterrupted) as exc:
+                interrupted = True
+                interrupt_reason = "keyboard-interrupt"
+                if isinstance(exc, ExperimentInterrupted):
+                    # The executor surfaced results that completed before the
+                    # interrupt but were never consumed: keep them, they are paid for.
+                    for index in sorted(exc.partial):
+                        for cell, outcome in zip(units[index], exc.partial[index]):
+                            if statuses[cell.cell_id] == "pending":
+                                persist(cell, outcome)
                 manifest_path = checkpoint()
-        except (KeyboardInterrupt, ExperimentInterrupted) as exc:
-            interrupted = True
-            interrupt_reason = "keyboard-interrupt"
-            if isinstance(exc, ExperimentInterrupted):
-                # The executor surfaced results that completed before the
-                # interrupt but were never consumed: keep them, they are paid for.
-                for index in sorted(exc.partial):
-                    for cell, outcome in zip(units[index], exc.partial[index]):
-                        if statuses[cell.cell_id] == "pending":
-                            persist(cell, outcome)
-            manifest_path = checkpoint()
-        finally:
-            # Close the stream *before* the executor: an abandoned parallel
-            # stream (the --max-cells break) cancels its not-yet-started chunks
-            # on GeneratorExit, so the pool shutdown below only waits for the
-            # handful of jobs actually in flight instead of the whole campaign.
-            closer = getattr(stream, "close", None)
-            if closer is not None:
-                closer()
-            if owns_executor:
-                executor.close()
-            store.flush_index()
+            finally:
+                # Close the stream *before* the executor: an abandoned parallel
+                # stream (the --max-cells break) cancels its not-yet-started chunks
+                # on GeneratorExit, so the pool shutdown below only waits for the
+                # handful of jobs actually in flight instead of the whole campaign.
+                closer = getattr(stream, "close", None)
+                if closer is not None:
+                    closer()
+                if owns_executor:
+                    executor.close()
+                store.flush_index()
 
         aggregates = timing = None
         if all(status in ("cached", "computed") for status in statuses.values()):
@@ -673,6 +691,7 @@ def run_campaign(
             interrupted = False
             interrupt_reason = ""
             manifest_path = checkpoint(aggregates, timing)
+    monitor.finish("interrupted" if interrupted else "finished", interrupt_reason)
     session = get_session()
     if session is not None:
         session.metrics.counter("campaign.cells_computed").inc(computed)

@@ -364,11 +364,22 @@ class ResultStore:
         safe = "".join(c if (c.isalnum() or c in "-_.") else "-" for c in name)
         return os.path.join(self.campaigns_dir, f"{safe}.json")
 
+    def status_path(self, name: str) -> str:
+        """Where the live run-status file for campaign *name* lives.
+
+        A sibling of the manifest (``<name>.status.json``), written by the
+        runner's :class:`~repro.telemetry.monitor.RunMonitor` and read by
+        ``repro campaigns watch``.
+        """
+        safe = "".join(c if (c.isalnum() or c in "-_.") else "-" for c in name)
+        return os.path.join(self.campaigns_dir, f"{safe}.status.json")
+
     def manifest_names(self) -> List[str]:
         """Names of every campaign manifest in this store."""
         names = []
         for filename in sorted(os.listdir(self.campaigns_dir)):
-            if filename.endswith(".json"):
+            # Live-status sidecars (<name>.status.json) are not manifests.
+            if filename.endswith(".json") and not filename.endswith(".status.json"):
                 names.append(filename[: -len(".json")])
         return names
 

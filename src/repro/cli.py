@@ -47,6 +47,7 @@ from .analysis.scorecard import (
     new_history,
     render_scorecard_markdown,
     save_history,
+    telemetry_diff_record,
 )
 from .campaigns import (
     CampaignSpec,
@@ -80,16 +81,21 @@ from .schedulers.registry import ALL_SCHEDULER_NAMES
 from .sim.simulation import SIM_BACKENDS
 from .telemetry import (
     LOG_LEVELS,
+    TOP_SPAN_KEYS,
     TelemetrySession,
     configure_logging,
     critical_path,
+    diff_runs,
     load_run_jsonl,
+    render_diff,
     render_tree,
     summarize_spans,
     telemetry_session,
     top_spans,
     write_run_jsonl,
 )
+from .telemetry.diff import DEFAULT_THRESHOLD, diff_record as make_diff_record
+from .telemetry.monitor import watch as watch_status
 from .util.errors import ExperimentInterrupted, ReproError
 from .workloads.generator import generate_workload
 from .workloads.suites import paper_workloads, workload_by_name
@@ -207,6 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the aggregate matrix as JSON to this path",
     )
+    scen_run.add_argument(
+        "--status-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "maintain a live run-status file there while the matrix runs "
+            "(watch it with `repro-scheduler campaigns watch --status-file PATH`)"
+        ),
+    )
 
     camp_parser = sub.add_parser(
         "campaigns",
@@ -292,6 +307,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor family for the resumed cells",
     )
     _add_campaign_run_options(camp_resume)
+    camp_watch = camp_sub.add_parser(
+        "watch",
+        help="live view of an in-flight (or interrupted) campaign's status file",
+    )
+    camp_watch.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result-store directory of the campaign",
+    )
+    camp_watch.add_argument(
+        "name", nargs="?", default=None, help="campaign name to watch"
+    )
+    camp_watch.add_argument(
+        "--status-file",
+        default=None,
+        metavar="PATH",
+        help="watch an explicit status file instead of --store/NAME "
+        "(e.g. one written by `scenarios run --status-file`)",
+    )
+    camp_watch.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval (default: 2s)",
+    )
+    camp_watch.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (scripting / CI)",
+    )
 
     trace_parser = sub.add_parser(
         "traces", help="replayable arrival traces: record, synthesize, inspect"
@@ -371,6 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign manifest whose timings join the dashboard (repeatable)",
     )
     score_build.add_argument(
+        "--diff",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help=(
+            "telemetry diff record (from `telemetry diff --output`) whose "
+            "phase attribution joins the dashboard (repeatable)"
+        ),
+    )
+    score_build.add_argument(
         "--output",
         default=os.path.join("benchmarks", "SCORECARD.md"),
         metavar="PATH",
@@ -400,10 +457,52 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="D",
         help="truncate the tree below depth D (roots are depth 0)",
     )
-    tel_top = tel_sub.add_parser("top", help="individually longest spans of one run")
+    tel_top = tel_sub.add_parser("top", help="individually costliest spans of one run")
     tel_top.add_argument("path", help="telemetry run file (.jsonl)")
     tel_top.add_argument(
         "--limit", type=int, default=10, metavar="N", help="rows to show (default: 10)"
+    )
+    tel_top.add_argument(
+        "--by",
+        default="elapsed",
+        choices=sorted(TOP_SPAN_KEYS),
+        help=(
+            "ranking key: wall-clock 'elapsed' (default), process 'cpu' "
+            "seconds or absolute 'rss' change (the resource keys need a run "
+            "recorded with --telemetry-resources)"
+        ),
+    )
+    tel_diff = tel_sub.add_parser(
+        "diff",
+        help="structurally diff two runs and attribute the delta to span paths",
+    )
+    tel_diff.add_argument("path_a", help="baseline telemetry run (.jsonl)")
+    tel_diff.add_argument("path_b", help="candidate telemetry run (.jsonl)")
+    tel_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="FRACTION",
+        help=(
+            "relative elapsed change flagged as significant "
+            f"(default: {DEFAULT_THRESHOLD:g} = {DEFAULT_THRESHOLD:.0%})"
+        ),
+    )
+    tel_diff.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the machine-readable diff record there (fold it into the "
+            "scorecard with `scorecard build --diff PATH`)"
+        ),
+    )
+    tel_diff.add_argument(
+        "--limit",
+        type=int,
+        default=25,
+        metavar="N",
+        help="max flat paths to show in the table (default: 25)",
     )
     return parser
 
@@ -461,6 +560,14 @@ def _add_telemetry_option(parser: argparse.ArgumentParser) -> None:
             "record a span/metrics telemetry run of this command and export "
             "it as JSONL to PATH (inspect with `repro-scheduler telemetry`); "
             "results are bit-identical with or without this flag"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry-resources",
+        action="store_true",
+        help=(
+            "also capture per-span CPU time, RSS delta and GC collections "
+            "(implies span overhead; see `telemetry top --by cpu|rss`)"
         ),
     )
 
@@ -548,7 +655,13 @@ def _telemetry_export(args: argparse.Namespace) -> Iterator[None]:
     if not path:
         yield
         return
-    session = TelemetrySession()
+    # Create (and thereby validate) the export target's directory *before*
+    # the run: an unwritable --telemetry path must fail in milliseconds, not
+    # after an hour of computed cells at export time.
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    session = TelemetrySession(
+        capture_resources=bool(getattr(args, "telemetry_resources", False))
+    )
     try:
         with telemetry_session(session):
             yield
@@ -568,28 +681,98 @@ def _telemetry_export(args: argparse.Namespace) -> Iterator[None]:
         )
 
 
+def _warn_dropped(run) -> None:
+    """Loud, unmissable stderr warning when the session cap dropped spans.
+
+    Summaries computed from a truncated tree under-count whatever phase was
+    hot when the cap hit — the one thing the reader is probably looking for.
+    """
+    if run["dropped_spans"]:
+        print(
+            f"warning: {run['dropped_spans']} spans were dropped at the "
+            "session cap — totals and shares below UNDER-COUNT the phases "
+            "that were active when the cap was reached",
+            file=sys.stderr,
+        )
+
+
+def _cmd_telemetry_diff(args: argparse.Namespace) -> int:
+    diff = diff_runs(
+        load_run_jsonl(args.path_a),
+        load_run_jsonl(args.path_b),
+        threshold=args.threshold,
+    )
+    print(render_diff(diff, limit=args.limit))
+    if args.output:
+        import json as _json
+
+        directory = os.path.dirname(os.path.abspath(args.output))
+        os.makedirs(directory, exist_ok=True)
+        with open(args.output, "w", encoding="utf8") as handle:
+            _json.dump(make_diff_record(diff), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        logger.info("telemetry diff record -> %s", args.output)
+    return 0
+
+
+def _cmd_campaigns_watch(args: argparse.Namespace) -> int:
+    if args.status_file:
+        status_path = args.status_file
+    else:
+        if not args.store or not args.name:
+            raise ReproError(
+                "campaigns watch needs either --status-file PATH or "
+                "--store DIR and a campaign NAME"
+            )
+        status_path = ResultStore(args.store).status_path(args.name)
+    status = watch_status(status_path, interval=args.interval, once=args.once)
+    return 0 if status.get("state") != "interrupted" else 3
+
+
 def _cmd_telemetry(args: argparse.Namespace) -> int:
+    if args.telemetry_command == "diff":
+        return _cmd_telemetry_diff(args)
     run = load_run_jsonl(args.path)
     spans = run["spans"]
     if args.telemetry_command == "tree":
+        _warn_dropped(run)
         print(f"run {run['run_id']}: {len(spans)} spans")
         print(render_tree(spans, max_depth=args.max_depth))
         return 0
     if args.telemetry_command == "top":
-        print(f"run {run['run_id']}: top {min(args.limit, len(spans))} spans by duration")
-        for span_obj in top_spans(spans, limit=args.limit):
+        _warn_dropped(run)
+        print(f"run {run['run_id']}: top {min(args.limit, len(spans))} spans by {args.by}")
+        for span_obj in top_spans(spans, limit=args.limit, by=args.by):
             worker = f" [{span_obj.worker}]" if span_obj.worker else ""
-            print(f"  {span_obj.duration * 1000.0:10.3f}ms  {span_obj.name}{worker}")
+            extra = ""
+            if args.by == "cpu":
+                extra = f"  cpu {span_obj.cpu_time * 1000.0:.3f}ms"
+            elif args.by == "rss":
+                extra = f"  rss {span_obj.rss_delta / 1024.0:+.0f}KiB"
+            print(
+                f"  {span_obj.duration * 1000.0:10.3f}ms{extra}  "
+                f"{span_obj.name}{worker}"
+            )
         return 0
+    _warn_dropped(run)
     dropped = f", {run['dropped_spans']} dropped" if run["dropped_spans"] else ""
     print(f"run {run['run_id']}: {len(spans)} spans{dropped} (meta: {run['meta']})")
+    has_resources = any(s.cpu_time or s.rss_delta or s.gc_collections for s in spans)
     print("\nhot phases (by total time):")
     for row in summarize_spans(spans)[:15]:
+        resources = ""
+        if has_resources:
+            resources = (
+                f"  cpu {row['total_cpu_seconds'] * 1000.0:9.3f}ms"
+                f"  rss {row['total_rss_delta'] / 1024.0:+9.0f}KiB"
+                f"  gc {row['total_gc_collections']:4d}"
+            )
         print(
             f"  {row['name']:40s} x{row['count']:<6d} "
             f"total {row['total_seconds'] * 1000.0:10.3f}ms  "
             f"mean {row['mean_seconds'] * 1000.0:9.3f}ms  "
             f"{row['share'] * 100.0:5.1f}%"
+            + resources
         )
     path = critical_path(spans)
     if path:
@@ -739,6 +922,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             seed=args.seed,
             executor=executor,
+            status_path=getattr(args, "status_file", None),
         )
     finally:
         executor.close()
@@ -946,6 +1130,8 @@ def _cmd_scorecard_build(args: argparse.Namespace) -> int:
         record = manifest_record(manifest_path)
         if record is not None:
             records.append(record)
+    for diff_path in args.diff:
+        records.append(telemetry_diff_record(diff_path))
     history = load_history(args.history) if os.path.exists(args.history) else new_history()
     added = fold_into_history(history, records)
     save_history(history, args.history)
@@ -1001,6 +1187,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     return _cmd_campaigns_status(args)
                 if args.campaign_command == "resume":
                     return _cmd_campaigns_resume(args)
+                if args.campaign_command == "watch":
+                    return _cmd_campaigns_watch(args)
                 return _cmd_campaigns_run(args)
             if args.command == "traces":
                 if args.trace_command == "record":

@@ -51,6 +51,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
 from ..telemetry import get_session
 from ..telemetry import unwrap as _telemetry_unwrap
 from ..telemetry import wrap_jobs_fn as _telemetry_wrap
+from ..telemetry.monitor import wrap_jobs_fn as _monitor_wrap
 from ..util.errors import ConfigurationError, ExperimentInterrupted, ReproError
 from .executor import ExperimentExecutor, probe_picklable, warn_serial_fallback
 
@@ -252,8 +253,9 @@ class AsyncWorkStealingExecutor(ExperimentExecutor):
         # worker-side session and come back as (result, snapshot) envelopes;
         # unwrapping at yield time merges each worker's spans/metrics into
         # the driver's tree in emit (= submission) order.  Without a session
-        # this is fn, untouched.
-        fn = _telemetry_wrap(fn)
+        # this is fn, untouched.  The heartbeat wrap (outermost) reports
+        # per-job worker progress when a run monitor is active.
+        fn = _monitor_wrap(_telemetry_wrap(fn))
         steals_before = self.steals
         n = len(jobs)
         block = self.block_size or max(1, n // (4 * self.jobs))

@@ -45,6 +45,7 @@ from typing import Callable, Iterator, List, Optional, Sequence, TypeVar
 
 from ..telemetry import unwrap as _telemetry_unwrap
 from ..telemetry import wrap_jobs_fn as _telemetry_wrap
+from ..telemetry.monitor import wrap_jobs_fn as _monitor_wrap
 from ..util.errors import ConfigurationError, ExperimentInterrupted
 
 __all__ = [
@@ -251,7 +252,10 @@ class ParallelExecutor(ExperimentExecutor):
         # worker-side session and come back as (result, snapshot) envelopes;
         # unwrapping merges each worker's spans/metrics into the driver's
         # tree in job order.  Without a session this is fn, untouched.
-        worker_fn = _telemetry_wrap(fn)
+        # The heartbeat wrap (outermost, so its timestamps include the
+        # telemetry envelope) reports per-job worker progress when a run
+        # monitor is active; it too is the identity otherwise.
+        worker_fn = _monitor_wrap(_telemetry_wrap(fn))
         chunks = [
             jobs[i : i + self.chunksize] for i in range(0, len(jobs), self.chunksize)
         ]

@@ -47,7 +47,34 @@ __all__ = [
     "GARunJob",
     "GARunOutcome",
     "run_ga_job",
+    "job_label",
 ]
+
+
+def job_label(job: object) -> str:
+    """A short human-readable label for any executor job (monitor display).
+
+    Understands every job shape the executors see — campaign cells (and the
+    cell tuples the campaign runner units them into), lane blocks, comparison
+    repeats and GA runs — and falls back to the type name for anything else,
+    so the live monitor can always say *what* a worker is chewing on.
+    """
+    cell_id = getattr(job, "cell_id", None)
+    if cell_id is not None:
+        return str(cell_id)
+    if isinstance(job, (tuple, list)) and job:
+        first = job_label(job[0])
+        return first if len(job) == 1 else f"{first} (+{len(job) - 1} more)"
+    if isinstance(job, ComparisonRepeatJob):
+        return f"repeat:seed={job.seed_entropy}"
+    if isinstance(job, ComparisonBlockJob):
+        return f"block:{len(job.jobs)} repeats"
+    if isinstance(job, GARunJob):
+        return f"ga:seed={job.ga_seed}"
+    inner = getattr(job, "job", None)
+    if inner is not None:
+        return job_label(inner)
+    return type(job).__name__
 
 
 # ---------------------------------------------------------------------------

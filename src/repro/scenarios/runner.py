@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import logging
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +35,7 @@ from ..parallel.executor import ExperimentExecutor, resolve_executor
 from ..schedulers.registry import make_scheduler
 from ..sim.simulation import SimulationConfig, simulate_schedule
 from ..telemetry import span
+from ..telemetry.monitor import RunMonitor
 from ..util.errors import ConfigurationError
 from ..util.rng import RNGLike, ensure_rng
 from ..workloads.generator import generate_workload
@@ -548,6 +550,7 @@ def run_scenario_matrix(
     sim_config: Optional[SimulationConfig] = None,
     executor: Optional[ExperimentExecutor] = None,
     jobs: Optional[int] = None,
+    status_path: Optional[str] = None,
 ) -> ScenarioMatrixResult:
     """Run the (scenario × scheduler × repeat) matrix and aggregate it.
 
@@ -572,6 +575,11 @@ def run_scenario_matrix(
         Routing of the cells: an explicit executor wins, else *jobs* (else
         ``scale.jobs``) selects serial or process-parallel execution.
         Aggregates are bit-identical for any choice.
+    status_path:
+        When given, a live :class:`~repro.telemetry.monitor.RunMonitor`
+        status file is maintained there (heartbeats per completed cell plus
+        per-worker progress files) so the matrix can be watched in flight
+        with ``repro campaigns watch --status-file``.
     """
     scale = scale or default_scale()
     specs = resolve_scenario_specs(scenarios, scale)
@@ -613,6 +621,18 @@ def run_scenario_matrix(
     )
     start = time.perf_counter()
     outcomes: List[ScenarioCellOutcome] = []
+    blocks = (
+        build_scenario_cell_blocks(cells) if sim_config.sim_backend == "batch" else None
+    )
+    monitor = None
+    if status_path is not None:
+        monitor = RunMonitor(
+            status_path,
+            name="scenario-matrix",
+            total_units=len(cells),
+            executor=executor.describe(),
+            lane_widths=[len(b.cells) for b in blocks] if blocks is not None else (),
+        )
     with span(
         "scenarios:matrix",
         n_cells=len(cells),
@@ -624,27 +644,42 @@ def run_scenario_matrix(
         # Under the batch backend a (scenario, scheduler) group's repeats run
         # as one lane block per executor job; the flattened outcomes keep
         # exact cell order, so aggregation is unchanged.
-        if sim_config.sim_backend == "batch":
-            blocks = build_scenario_cell_blocks(cells)
-            stream = (
-                outcome
-                for block_outcomes in executor.imap(run_scenario_cell_block, blocks)
-                for outcome in block_outcomes
-            )
-        else:
-            stream = executor.imap(run_scenario_cell, cells)
-        for outcome in stream:
-            outcomes.append(outcome)
-            elapsed = time.perf_counter() - start
-            rate = len(outcomes) / elapsed if elapsed > 0 else 0.0
-            eta = (len(cells) - len(outcomes)) / rate if rate > 0 else float("inf")
-            logger.info(
-                "scenario matrix: %d/%d cells (%.2f cells/s, eta %.0fs)",
-                len(outcomes),
-                len(cells),
-                rate,
-                eta,
-            )
+        try:
+            with (monitor.heartbeats() if monitor is not None else nullcontext()):
+                if blocks is not None:
+                    stream = (
+                        outcome
+                        for block_outcomes in executor.imap(
+                            run_scenario_cell_block, blocks
+                        )
+                        for outcome in block_outcomes
+                    )
+                else:
+                    stream = executor.imap(run_scenario_cell, cells)
+                for outcome in stream:
+                    outcomes.append(outcome)
+                    elapsed = time.perf_counter() - start
+                    rate = len(outcomes) / elapsed if elapsed > 0 else 0.0
+                    eta = (len(cells) - len(outcomes)) / rate if rate > 0 else float("inf")
+                    if monitor is not None:
+                        monitor.cell_event(
+                            f"{outcome.scenario}/{outcome.scheduler}/r{outcome.repeat}",
+                            "computed",
+                            outcome.wall_clock_seconds,
+                        )
+                    logger.info(
+                        "scenario matrix: %d/%d cells (%.2f cells/s, eta %.0fs)",
+                        len(outcomes),
+                        len(cells),
+                        rate,
+                        eta,
+                    )
+        except BaseException:
+            if monitor is not None:
+                monitor.finish("interrupted", "matrix run aborted")
+            raise
+    if monitor is not None:
+        monitor.finish("finished")
     return ScenarioMatrixResult(
         scenarios=[spec.name for spec in specs],
         schedulers=scheduler_union,

@@ -3,7 +3,7 @@
 One run is one ``.jsonl`` file: a header line, one line per span (in
 creation order), and one metrics line::
 
-    {"kind": "telemetry_run", "format_version": 1, "run_id": "tr-...", ...}
+    {"kind": "telemetry_run", "format_version": 2, "run_id": "tr-...", ...}
     {"kind": "span", "name": "campaign:ci", "span_id": 0, ...}
     ...
     {"kind": "metrics", "counters": {...}, "gauges": {...}, "histograms": {...}}
@@ -26,12 +26,18 @@ from .spans import Span, TelemetrySession
 
 __all__ = [
     "TELEMETRY_FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
     "content_run_id",
     "write_run_jsonl",
     "load_run_jsonl",
 ]
 
-TELEMETRY_FORMAT_VERSION = 1
+#: Version 2 added the per-span resource columns (``cpu_time``,
+#: ``rss_delta``, ``gc_collections``).  Version-1 files stay loadable —
+#: their resource fields come back as zero — so runs recorded before
+#: resource attribution existed remain diffable against fresh ones.
+TELEMETRY_FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (1, 2)
 
 
 def content_run_id(identity: Dict[str, object]) -> str:
@@ -93,11 +99,14 @@ def load_run_jsonl(path: str) -> Dict[str, object]:
             "(missing the telemetry_run header line)"
         )
     header = lines[0]
-    if header.get("format_version") != TELEMETRY_FORMAT_VERSION:
+    version = header.get("format_version")
+    if version not in SUPPORTED_FORMAT_VERSIONS:
         raise ConfigurationError(
             f"{os.path.basename(path)}: unsupported telemetry format version "
-            f"{header.get('format_version')!r}"
+            f"{version!r} (supported: {SUPPORTED_FORMAT_VERSIONS})"
         )
+    # Version-1 lines simply lack the resource keys; Span.from_dict zeroes
+    # them, so v1 and v2 runs flow through the same downstream code.
     spans = [Span.from_dict(line) for line in lines[1:] if line.get("kind") == "span"]
     metrics: Dict[str, object] = {}
     for line in lines[1:]:
@@ -105,6 +114,7 @@ def load_run_jsonl(path: str) -> Dict[str, object]:
             metrics = {k: v for k, v in line.items() if k != "kind"}
     return {
         "run_id": header.get("run_id", ""),
+        "format_version": version,
         "meta": header.get("meta", {}),
         "n_spans": header.get("n_spans", len(spans)),
         "dropped_spans": header.get("dropped_spans", 0),

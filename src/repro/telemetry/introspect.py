@@ -19,6 +19,7 @@ __all__ = [
     "render_tree",
     "summarize_spans",
     "top_spans",
+    "TOP_SPAN_KEYS",
     "critical_path",
 ]
 
@@ -95,13 +96,21 @@ def summarize_spans(spans: Sequence[Span]) -> List[Dict[str, object]]:
 
     ``share`` is each name's total over the *root* total (the sum of root
     span durations), so nested phases read as fractions of end-to-end time.
-    Rows come back sorted by total, descending.
+    Rows also fold the resource columns (zero unless the run captured them):
+    ``total_cpu_seconds``, ``total_rss_delta`` bytes and
+    ``total_gc_collections``.  Rows come back sorted by total, descending.
     """
     totals: Dict[str, float] = {}
     counts: Dict[str, int] = {}
+    cpu: Dict[str, float] = {}
+    rss: Dict[str, int] = {}
+    collections: Dict[str, int] = {}
     for span in spans:
         totals[span.name] = totals.get(span.name, 0.0) + span.duration
         counts[span.name] = counts.get(span.name, 0) + 1
+        cpu[span.name] = cpu.get(span.name, 0.0) + span.cpu_time
+        rss[span.name] = rss.get(span.name, 0) + span.rss_delta
+        collections[span.name] = collections.get(span.name, 0) + span.gc_collections
     root_total = sum(span.duration for span in span_children(spans)[None])
     rows = [
         {
@@ -110,6 +119,9 @@ def summarize_spans(spans: Sequence[Span]) -> List[Dict[str, object]]:
             "total_seconds": total,
             "mean_seconds": total / counts[name],
             "share": (total / root_total) if root_total > 0 else 0.0,
+            "total_cpu_seconds": cpu[name],
+            "total_rss_delta": rss[name],
+            "total_gc_collections": collections[name],
         }
         for name, total in totals.items()
     ]
@@ -117,9 +129,28 @@ def summarize_spans(spans: Sequence[Span]) -> List[Dict[str, object]]:
     return rows
 
 
-def top_spans(spans: Sequence[Span], limit: int = 10) -> List[Span]:
-    """The *limit* individually longest spans, longest first."""
-    return sorted(spans, key=lambda s: s.duration, reverse=True)[: max(0, int(limit))]
+#: Sort keys ``top_spans`` understands (also the CLI's ``top --by`` choices).
+TOP_SPAN_KEYS = {
+    "elapsed": lambda s: s.duration,
+    "cpu": lambda s: s.cpu_time,
+    "rss": lambda s: abs(s.rss_delta),
+}
+
+
+def top_spans(spans: Sequence[Span], limit: int = 10, by: str = "elapsed") -> List[Span]:
+    """The *limit* individually costliest spans by *by*, costliest first.
+
+    ``by`` is ``"elapsed"`` (wall clock, the default), ``"cpu"`` (process
+    CPU seconds) or ``"rss"`` (absolute resident-set change — growth and
+    release both rank, both are worth seeing).
+    """
+    try:
+        key = TOP_SPAN_KEYS[by]
+    except KeyError:
+        raise ValueError(
+            f"unknown top-span key {by!r}; expected one of {sorted(TOP_SPAN_KEYS)}"
+        ) from None
+    return sorted(spans, key=key, reverse=True)[: max(0, int(limit))]
 
 
 def critical_path(spans: Sequence[Span]) -> List[Span]:

@@ -60,16 +60,20 @@ class WorkerTelemetry:
     which on a forked worker is a stale copy of the driver's — and the
     previous global is restored afterwards, so the wrapper also behaves on
     the driver's serial-fallback path (the snapshot is simply merged back
-    into the session it was split from).
+    into the session it was split from).  ``capture_resources`` mirrors the
+    driver session's setting at wrap time, so worker subtrees carry their
+    own CPU/RSS/GC columns — a worker's resource usage is not measurable
+    from the driver process.
     """
 
-    __slots__ = ("fn",)
+    __slots__ = ("fn", "capture_resources")
 
-    def __init__(self, fn: Callable[[J], R]) -> None:
+    def __init__(self, fn: Callable[[J], R], capture_resources: bool = False) -> None:
         self.fn = fn
+        self.capture_resources = bool(capture_resources)
 
     def __call__(self, job: J) -> Telemetered:
-        session = TelemetrySession()
+        session = TelemetrySession(capture_resources=self.capture_resources)
         with telemetry_session(session):
             result = self.fn(job)
         return Telemetered(result, session.snapshot(worker=f"pid-{os.getpid()}"))
@@ -77,9 +81,10 @@ class WorkerTelemetry:
 
 def wrap_jobs_fn(fn: Callable[[J], R]) -> Callable[[J], Any]:
     """Wrap *fn* for telemetry forwarding iff the driver has a session."""
-    if get_session() is None:
+    session = get_session()
+    if session is None:
         return fn
-    return WorkerTelemetry(fn)
+    return WorkerTelemetry(fn, capture_resources=session.capture_resources)
 
 
 def unwrap(value: Any) -> Any:

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
 from .metrics import MetricsRegistry
+from .resources import make_probe
 
 __all__ = [
     "Span",
@@ -66,6 +67,13 @@ class Span:
     #: process; empty for spans recorded in the driver.
     worker: str = ""
     attrs: Dict[str, object] = field(default_factory=dict)
+    #: Resource attribution (sessions with ``capture_resources=True`` only;
+    #: zero otherwise, and zero for version-1 exports loaded back): CPU
+    #: seconds, resident-set change in bytes, and GC collections across the
+    #: span body.  See :mod:`repro.telemetry.resources`.
+    cpu_time: float = 0.0
+    rss_delta: int = 0
+    gc_collections: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         """Plain-JSON form (the JSONL export line, minus the ``kind`` tag)."""
@@ -77,11 +85,18 @@ class Span:
             "duration": self.duration,
             "worker": self.worker,
             "attrs": dict(self.attrs),
+            "cpu_time": self.cpu_time,
+            "rss_delta": self.rss_delta,
+            "gc_collections": self.gc_collections,
         }
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "Span":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        The resource columns default to zero, which is what makes version-1
+        exports (recorded before resource attribution existed) loadable.
+        """
         return cls(
             name=str(payload["name"]),
             span_id=int(payload["span_id"]),
@@ -92,6 +107,9 @@ class Span:
             duration=float(payload["duration"]),
             worker=str(payload.get("worker", "")),
             attrs=dict(payload.get("attrs", {})),
+            cpu_time=float(payload.get("cpu_time", 0.0)),
+            rss_delta=int(payload.get("rss_delta", 0)),
+            gc_collections=int(payload.get("gc_collections", 0)),
         )
 
 
@@ -105,12 +123,19 @@ class TelemetrySession:
     attach to the innermost open one.
     """
 
-    def __init__(self, max_spans: int = MAX_SPANS) -> None:
+    def __init__(
+        self, max_spans: int = MAX_SPANS, *, capture_resources: bool = False
+    ) -> None:
         self.spans: List[Span] = []
         self.metrics = MetricsRegistry()
         self.max_spans = int(max_spans)
         #: Spans discarded after :attr:`max_spans` was reached.
         self.dropped_spans = 0
+        #: Whether context-managed spans also record CPU/RSS/GC deltas
+        #: (see :mod:`repro.telemetry.resources`); off by default so the
+        #: enabled-telemetry hot path stays probe-free unless asked.
+        self.capture_resources = bool(capture_resources)
+        self._probe = make_probe(self.capture_resources)
         self._stack: List[int] = []
         self._next_id = 0
         self._t0 = time.perf_counter()
@@ -132,16 +157,28 @@ class TelemetrySession:
 
     @contextmanager
     def span(self, name: str, **attrs: object) -> Iterator[None]:
-        """Open a child span around the ``with`` body."""
+        """Open a child span around the ``with`` body.
+
+        With :attr:`capture_resources` on, the span also carries the CPU
+        time, RSS delta and GC collections of its body (inclusive of
+        children, like ``duration``).
+        """
         span_id = self._next_id
         self._next_id += 1
         parent_id = self.current_span_id
         self._stack.append(span_id)
+        probe = self._probe
+        before = probe.sample() if probe is not None else None
         start = self._now()
         try:
             yield
         finally:
             self._stack.pop()
+            cpu_time, rss_delta, collections = (
+                probe.delta(before, probe.sample())
+                if probe is not None
+                else (0.0, 0, 0)
+            )
             self._append(
                 Span(
                     name=name,
@@ -150,6 +187,9 @@ class TelemetrySession:
                     start=start,
                     duration=self._now() - start,
                     attrs=attrs,
+                    cpu_time=cpu_time,
+                    rss_delta=rss_delta,
+                    gc_collections=collections,
                 )
             )
 
@@ -159,6 +199,9 @@ class TelemetrySession:
         duration: float,
         *,
         parent_id: Optional[int] = -1,
+        cpu_time: float = 0.0,
+        rss_delta: int = 0,
+        gc_collections: int = 0,
         **attrs: object,
     ) -> int:
         """Record an already-measured span (no body to wrap); returns its id.
@@ -166,7 +209,8 @@ class TelemetrySession:
         Used for attribution accumulated elsewhere — e.g. the simulator's
         per-phase seconds, measured by the hot loop itself and emitted as
         child spans once per run.  ``parent_id=-1`` (the default) attaches
-        to the innermost open span.
+        to the innermost open span.  Pre-measured resource deltas may ride
+        along the same way.
         """
         span_id = self._next_id
         self._next_id += 1
@@ -178,6 +222,9 @@ class TelemetrySession:
                 start=self._now(),
                 duration=float(duration),
                 attrs=attrs,
+                cpu_time=float(cpu_time),
+                rss_delta=int(rss_delta),
+                gc_collections=int(gc_collections),
             )
         )
         return span_id

@@ -317,6 +317,74 @@ class TestManifestRecord:
         assert not machines_comparable(record["machine"], machine_fingerprint())
 
 
+class TestTelemetryDiffRecord:
+    def diff_record_file(self, tmp_path, elapsed_b=2.0):
+        from repro.telemetry import diff_record, diff_runs
+        from repro.telemetry.spans import Span
+
+        def run(run_id, elapsed):
+            return {
+                "run_id": run_id,
+                "meta": {"command": "test"},
+                "spans": [
+                    Span(name="root", span_id=0, parent_id=None, start=0.0,
+                         duration=elapsed),
+                    Span(name="phase:x", span_id=1, parent_id=0, start=0.0,
+                         duration=elapsed * 0.8),
+                ],
+                "metrics": {"counters": {}},
+            }
+
+        record = diff_record(diff_runs(run("tr-aaaa", 1.0), run("tr-bbbb", elapsed_b)))
+        path = tmp_path / "diff.json"
+        path.write_text(json.dumps(record))
+        return str(path)
+
+    def test_rows_are_dashboard_only(self, tmp_path):
+        from repro.analysis.scorecard import telemetry_diff_record
+
+        record = telemetry_diff_record(self.diff_record_file(tmp_path))
+        assert record["benchmark"] == "telemetry-diff/tr-bbbb"
+        metrics = {row["metric"]: row for row in record["rows"]}
+        assert metrics["elapsed_ratio"]["value"] == pytest.approx(2.0)
+        assert metrics["elapsed_ratio"]["direction"] == "lower"
+        assert metrics["n_regressions"]["value"] == 2
+        assert metrics["n_improvements"]["value"] == 0
+        assert "path/root" in metrics and "path/root/phase:x" in metrics
+        # A diff documents a comparison; it must never gate the build.
+        assert all(
+            row["tolerance"] is None and row["floor"] is None
+            for row in record["rows"]
+        )
+        validate_bench_record(record)
+
+    def test_malformed_diff_rejected(self, tmp_path):
+        from repro.analysis.scorecard import telemetry_diff_record
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "nope"}))
+        with pytest.raises(ConfigurationError):
+            telemetry_diff_record(str(bad))
+
+    def test_build_folds_diff_records(self, tmp_path):
+        bench = tmp_path / "records"
+        bench.mkdir()
+        (bench / "BENCH_demo.json").write_text(json.dumps(speedup_record(4.0)))
+        history = str(tmp_path / "SCORECARD.json")
+        dashboard = tmp_path / "SCORECARD.md"
+        code = main(
+            [
+                "scorecard", "build", str(bench),
+                "--diff", self.diff_record_file(tmp_path),
+                "--history", history, "--output", str(dashboard),
+            ]
+        )
+        assert code == 0
+        assert "telemetry-diff/tr-bbbb" in dashboard.read_text()
+        # Folding a diff never breaks the gate.
+        assert main(["scorecard", "check", str(bench), "--history", history]) == 0
+
+
 class TestRendering:
     def test_bench_markdown_lists_every_row(self):
         record = speedup_record(2.0)

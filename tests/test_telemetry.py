@@ -545,3 +545,206 @@ class TestCampaignTelemetry:
 
     def test_session_cap_is_sane(self):
         assert TelemetrySession().max_spans == MAX_SPANS
+
+
+def _raw_span(name, span_id, parent_id=None, duration=0.0):
+    from repro.telemetry.spans import Span
+
+    return Span(
+        name=name, span_id=span_id, parent_id=parent_id, start=0.0,
+        duration=duration,
+    )
+
+
+class TestAdversarialTrees:
+    """Malformed span trees must be *reported*, never hung or crashed on.
+
+    Worker merge bugs, truncated exports and hand-edited JSONL all reach
+    the introspection helpers eventually; each helper has to degrade to a
+    diagnostic, not a traceback (or worse, an infinite parent walk).
+    """
+
+    def test_orphan_parent_is_flagged_and_tolerated(self):
+        spans = [_raw_span("root", 0, duration=1.0), _raw_span("lost", 5, parent_id=99)]
+        problems = validate_span_tree(spans)
+        assert any("missing parent 99" in p for p in problems)
+        # Introspection treats the orphan as a root instead of dying.
+        assert render_tree(spans).splitlines()[1].startswith("lost")
+        assert [s.name for s in critical_path(spans)] == ["root"]
+
+    def test_duplicate_ids_flagged(self):
+        spans = [_raw_span("a", 1), _raw_span("b", 1)]
+        problems = validate_span_tree(spans)
+        assert any("duplicate span id 1" in p for p in problems)
+
+    def test_self_parent_flagged_no_hang(self):
+        spans = [_raw_span("loop", 3, parent_id=3, duration=1.0)]
+        problems = validate_span_tree(spans)
+        assert any("its own parent" in p for p in problems)
+        assert critical_path(spans) == []  # no root to start from; no hang
+
+    def test_parent_cycle_flagged_no_hang(self):
+        # a -> b -> a: any cycle forces some parent_id >= child id, which the
+        # precedes-parent check catches; the walkers must also terminate.
+        spans = [
+            _raw_span("a", 0, parent_id=1, duration=0.5),
+            _raw_span("b", 1, parent_id=0, duration=0.5),
+        ]
+        problems = validate_span_tree(spans)
+        assert any("precedes its parent" in p for p in problems)
+        assert critical_path(spans) == []
+        from repro.telemetry.diff import aggregate_by_path
+
+        assert len(aggregate_by_path(spans)) == 2
+
+    def test_zero_duration_run_summarizes_without_dividing(self):
+        spans = [_raw_span("root", 0), _raw_span("leaf", 1, parent_id=0)]
+        assert validate_span_tree(spans) == []
+        rows = summarize_spans(spans)
+        assert all(row["share"] == 0.0 for row in rows)
+        assert [s.name for s in critical_path(spans)] == ["root", "leaf"]
+
+    def test_empty_input_everywhere(self):
+        assert validate_span_tree([]) == []
+        assert summarize_spans([]) == []
+        assert critical_path([]) == []
+        assert render_tree([]) == "(no spans)"
+
+
+class TestResourceAttribution:
+    def test_probe_sample_and_delta(self):
+        from repro.telemetry.resources import ResourceProbe, gc_collections, rss_bytes
+
+        probe = ResourceProbe()
+        before = probe.sample()
+        # Burn a little CPU + allocate so the monotone counters can move.
+        sum(i * i for i in range(200_000))
+        after = probe.sample()
+        cpu, rss, gcs = ResourceProbe.delta(before, after)
+        assert cpu >= 0.0 and gcs >= 0
+        assert rss_bytes() > 0  # Linux CI: statm is available
+        assert gc_collections() >= 0
+        # Clamping: a reversed pair never yields negative cpu/gc.
+        assert ResourceProbe.delta(after, before)[0] == 0.0
+        assert ResourceProbe.delta(after, before)[2] == 0
+
+    def test_spans_capture_resources_only_when_asked(self):
+        def busy():
+            with span("busy"):
+                return sum(i * i for i in range(300_000))
+
+        with telemetry_session(TelemetrySession()) as plain:
+            busy()
+        busy_plain = next(s for s in plain.spans if s.name == "busy")
+        assert busy_plain.cpu_time == 0.0
+        assert busy_plain.rss_delta == 0 and busy_plain.gc_collections == 0
+
+        with telemetry_session(TelemetrySession(capture_resources=True)) as captured:
+            busy()
+        busy_cap = next(s for s in captured.spans if s.name == "busy")
+        assert busy_cap.cpu_time > 0.0
+
+    def test_resource_columns_round_trip_jsonl(self, tmp_path):
+        session = TelemetrySession(capture_resources=True)
+        with session.span("work"):
+            sum(i * i for i in range(100_000))
+        path = str(tmp_path / "run.jsonl")
+        write_run_jsonl(path, session, meta={"t": 1})
+        run = load_run_jsonl(path)
+        assert run["format_version"] == 2
+        loaded = run["spans"][0]
+        original = session.spans[0]
+        assert loaded.cpu_time == original.cpu_time
+        assert loaded.rss_delta == original.rss_delta
+        assert loaded.gc_collections == original.gc_collections
+
+    def test_v1_exports_load_with_zeroed_resources(self, tmp_path):
+        # A hand-written version-1 file: span lines lack the resource keys.
+        path = tmp_path / "v1.jsonl"
+        lines = [
+            {"kind": "telemetry_run", "format_version": 1, "run_id": "tr-old",
+             "meta": {"legacy": True}, "n_spans": 1, "dropped_spans": 0},
+            {"kind": "span", "name": "old", "span_id": 0, "parent_id": None,
+             "start": 0.0, "duration": 1.5, "worker": "", "attrs": {}},
+            {"kind": "metrics", "counters": {}, "gauges": {}, "histograms": {}},
+        ]
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        run = load_run_jsonl(str(path))
+        assert run["format_version"] == 1
+        old = run["spans"][0]
+        assert old.duration == 1.5
+        assert old.cpu_time == 0.0
+        assert old.rss_delta == 0 and old.gc_collections == 0
+        # And a v1 run stays diffable against a fresh v2 run.
+        from repro.telemetry import diff_runs
+
+        fresh = TelemetrySession(capture_resources=True)
+        with fresh.span("old"):
+            pass
+        v2path = str(tmp_path / "v2.jsonl")
+        write_run_jsonl(v2path, fresh, meta={"legacy": False})
+        diff = diff_runs(run, load_run_jsonl(v2path))
+        assert diff.node("old") is not None
+
+    def test_top_spans_by_cpu_and_rss(self):
+        spans = [
+            _raw_span("wall", 0, duration=9.0),
+            _raw_span("cpu-hog", 1, duration=1.0),
+            _raw_span("rss-hog", 2, duration=0.5),
+        ]
+        spans[1].cpu_time = 5.0
+        spans[2].rss_delta = -(1 << 30)  # released memory ranks too (abs)
+        assert top_spans(spans, limit=1)[0].name == "wall"
+        assert top_spans(spans, limit=1, by="cpu")[0].name == "cpu-hog"
+        assert top_spans(spans, limit=1, by="rss")[0].name == "rss-hog"
+        with pytest.raises(ValueError, match="unknown top-span key"):
+            top_spans(spans, by="disk")
+
+    def test_summarize_folds_resource_totals(self):
+        spans = [_raw_span("p", 0, duration=1.0), _raw_span("p", 1, duration=1.0)]
+        spans[0].cpu_time = 0.25
+        spans[1].cpu_time = 0.5
+        spans[1].gc_collections = 2
+        row = summarize_spans(spans)[0]
+        assert row["total_cpu_seconds"] == pytest.approx(0.75)
+        assert row["total_gc_collections"] == 2
+
+    @pytest.mark.parametrize("backend", ["fast", "event", "batch"])
+    def test_resource_capture_is_rng_inert(self, backend, small_cluster, small_tasks):
+        config = SimulationConfig(sim_backend=backend)
+
+        def run():
+            return simulate_schedule(
+                MinMinScheduler(batch_size=4), small_cluster, small_tasks,
+                config=config, rng=7,
+            )
+
+        baseline = _sim_digest(run())
+        with telemetry_session(TelemetrySession(capture_resources=True)):
+            observed = _sim_digest(run())
+        assert observed == baseline
+
+
+class TestDroppedSpansWarning:
+    def _capped_export(self, tmp_path):
+        session = TelemetrySession(max_spans=2)
+        for i in range(6):
+            session.record_span(f"s{i}", 0.01)
+        path = str(tmp_path / "capped.jsonl")
+        write_run_jsonl(path, session, meta={"capped": True})
+        return path
+
+    @pytest.mark.parametrize("command", ["summarize", "tree", "top"])
+    def test_introspection_warns_loudly(self, command, tmp_path, capsys):
+        path = self._capped_export(tmp_path)
+        assert main(["telemetry", command, path]) == 0
+        err = capsys.readouterr().err
+        assert "warning:" in err and "4 spans were dropped" in err
+
+    def test_clean_run_does_not_warn(self, tmp_path, capsys):
+        session = TelemetrySession()
+        session.record_span("fine", 0.01)
+        path = str(tmp_path / "fine.jsonl")
+        write_run_jsonl(path, session, meta={})
+        assert main(["telemetry", "summarize", path]) == 0
+        assert "warning:" not in capsys.readouterr().err
